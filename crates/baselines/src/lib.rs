@@ -1,0 +1,42 @@
+//! Baseline fault-localization schemes the SDNProbe paper compares
+//! against (§VII, §VIII):
+//!
+//! - [`Atpg`] — *Automatic Test Packet Generation*: greedy minimum set
+//!   cover over host-to-host paths, intersection-based localization.
+//! - [`PerRuleTester`] — per-rule testing (Chi et al. / Monocle): one
+//!   three-hop probe per flow entry, target-switch blame.
+//!
+//! Both reuse the workspace's probe harness and timing model so the
+//! comparison measures algorithmic differences, not plumbing.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sdnprobe_baselines::{Atpg, PerRuleTester};
+//! use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+//! use sdnprobe_topology::{PortId, SwitchId, Topology};
+//!
+//! let mut topo = Topology::new(2);
+//! topo.add_link(SwitchId(0), SwitchId(1));
+//! let mut net = Network::new(topo);
+//! let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+//! net.install(SwitchId(0), TableId(0),
+//!     FlowEntry::new("00xxxxxx".parse()?, Action::Output(p)))?;
+//! net.install(SwitchId(1), TableId(0),
+//!     FlowEntry::new("00xxxxxx".parse()?, Action::Output(PortId(40))))?;
+//! let report = Atpg::new().detect(&mut net)?;
+//! assert!(report.faulty_switches.is_empty());
+//! let report = PerRuleTester::new().detect(&mut net)?;
+//! assert!(report.faulty_switches.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod atpg;
+mod per_rule;
+
+pub use atpg::{Atpg, AtpgPlan};
+pub use per_rule::{PerRulePath, PerRuleTester};

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the header-space algebra and the
+//! witness solver (the paper's 0.5–2.4 ms/header MiniSat role).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdnprobe_headerspace::solver::WitnessQuery;
+use sdnprobe_headerspace::{HeaderSet, Ternary};
+
+fn ternary_ops(c: &mut Criterion) {
+    let a = Ternary::prefix(0xDEAD, 16, 32);
+    let b = Ternary::prefix(0xDEAD | (0xBE << 16), 24, 32);
+    c.bench_function("ternary/intersect", |bench| {
+        bench.iter(|| black_box(a).intersect(&black_box(b)))
+    });
+    c.bench_function("ternary/subset", |bench| {
+        bench.iter(|| black_box(b).is_subset_of(&black_box(a)))
+    });
+    c.bench_function("ternary/set_field", |bench| {
+        bench.iter(|| black_box(a).apply_set_field(&black_box(b)))
+    });
+}
+
+fn set_ops(c: &mut Criterion) {
+    // A /4 aggregate minus 64 disjoint /12 specifics — the campus
+    // workload's worst overlap stack.
+    let aggregate = Ternary::prefix(0x5, 4, 32);
+    let specifics: Vec<Ternary> = (1..65u128)
+        .map(|i| Ternary::prefix(0x5 | (i << 4), 12, 32))
+        .collect();
+    c.bench_function("headerset/subtract_64_overlaps", |bench| {
+        bench.iter(|| {
+            let mut input = HeaderSet::from(black_box(aggregate));
+            for q in &specifics {
+                input = input.subtract_ternary(q);
+            }
+            black_box(input)
+        })
+    });
+    let mut carved = HeaderSet::from(aggregate);
+    for q in &specifics {
+        carved = carved.subtract_ternary(q);
+    }
+    let probe = Ternary::prefix(0x5 | (200 << 4), 12, 32);
+    c.bench_function("headerset/intersect_carved", |bench| {
+        bench.iter(|| black_box(&carved).intersect_ternary(&black_box(probe)))
+    });
+}
+
+fn witness_solver(c: &mut Criterion) {
+    // The paper's MiniSat task: one header in `match − ⋃ overlaps`,
+    // 64 overlapping rules (paper: 0.5–2.4 ms per header).
+    let aggregate = Ternary::prefix(0x5, 4, 32);
+    let specifics: Vec<Ternary> = (1..65u128)
+        .map(|i| Ternary::prefix(0x5 | (i << 4), 12, 32))
+        .collect();
+    c.bench_function("solver/witness_64_overlaps", |bench| {
+        bench.iter(|| {
+            WitnessQuery::new(black_box(aggregate))
+                .avoid_all(specifics.iter().copied())
+                .solve()
+                .expect("free space remains")
+        })
+    });
+    // Unsatisfiable instance: whole space carved away bit by bit.
+    let negs: Vec<Ternary> = (0..32)
+        .flat_map(|k| {
+            [
+                Ternary::wildcard(32).with_bit(k, false),
+                Ternary::wildcard(32).with_bit(k, true),
+            ]
+        })
+        .take(2)
+        .collect();
+    c.bench_function("solver/unsat_fast_path", |bench| {
+        bench.iter(|| {
+            WitnessQuery::new(Ternary::wildcard(32))
+                .avoid_all(negs.iter().copied())
+                .solve()
+        })
+    });
+}
+
+criterion_group!(benches, ternary_ops, set_ops, witness_solver);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion benchmarks for the SDNProbe pipeline stages: rule-graph
+//! construction (with legal closure), MLPC test-packet generation,
+//! randomized generation, incremental updates, and a localization round.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdnprobe::{generate, generate_randomized, FaultLocalizer, ProbeConfig, ProbeHarness};
+use sdnprobe_dataplane::{Action, FaultKind, FaultSpec, FlowEntry, TableId};
+use sdnprobe_rulegraph::{RuleGraph, RuleUpdate};
+use sdnprobe_topology::generate::rocketfuel_like;
+use sdnprobe_workloads::{synthesize, SyntheticNetwork, WorkloadSpec, HEADER_BITS, HOST_PORT};
+
+fn workload(flows: usize) -> SyntheticNetwork {
+    let topo = rocketfuel_like(30, 54, 777);
+    synthesize(
+        &topo,
+        &WorkloadSpec {
+            flows,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.3,
+            min_path_len: 5,
+            seed: 777,
+        },
+    )
+}
+
+fn rule_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rulegraph/from_network");
+    for flows in [40usize, 120] {
+        let sn = workload(flows);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sn.rule_count()),
+            &sn,
+            |bench, sn| bench.iter(|| RuleGraph::from_network(black_box(&sn.network)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn generation(c: &mut Criterion) {
+    let sn = workload(120);
+    let graph = RuleGraph::from_network(&sn.network).unwrap();
+    c.bench_function("generate/mlpc", |bench| {
+        bench.iter(|| generate(black_box(&graph)))
+    });
+    c.bench_function("generate/randomized", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| generate_randomized(black_box(&graph), &mut rng))
+    });
+}
+
+fn incremental_update(c: &mut Criterion) {
+    let sn = workload(120);
+    let mut net = sn.network;
+    let graph = RuleGraph::from_network(&net).unwrap();
+    let switch = sn.flows[0].path[0];
+    c.bench_function("rulegraph/incremental_add_remove", |bench| {
+        bench.iter(|| {
+            let id = net
+                .install(
+                    switch,
+                    TableId(0),
+                    FlowEntry::new(
+                        sdnprobe_headerspace::Ternary::prefix(0xFEED, 16, HEADER_BITS),
+                        Action::Output(HOST_PORT),
+                    )
+                    .with_priority(31),
+                )
+                .unwrap();
+            let mut g = graph.clone();
+            g.apply_update(&net, &RuleUpdate::Added { entry: id }).unwrap();
+            let location = net.location(id).unwrap();
+            let old = net.remove(id).unwrap();
+            g.apply_update(&net, &RuleUpdate::Removed { entry: id, old, location })
+                .unwrap();
+            black_box(g)
+        })
+    });
+}
+
+fn localization_round(c: &mut Criterion) {
+    let sn = workload(120);
+    let graph = RuleGraph::from_network(&sn.network).unwrap();
+    let plan = generate(&graph);
+    let victim = sn.flows[1].entries[0];
+    c.bench_function("localize/single_fault_run", |bench| {
+        bench.iter_batched(
+            || {
+                let mut net = sn.network.clone();
+                net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+                net
+            },
+            |mut net| {
+                let mut harness = ProbeHarness::new();
+                let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
+                let mut localizer = FaultLocalizer::new(ProbeConfig::default());
+                let report = localizer.run(&mut net, &graph, &mut harness, probes).unwrap();
+                black_box(report)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    rule_graph_construction,
+    generation,
+    incremental_update,
+    localization_round
+);
+criterion_main!(benches);

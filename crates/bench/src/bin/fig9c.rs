@@ -1,0 +1,133 @@
+//! Figure 9(c): FNR vs detection delay under heavy detouring — 50 % of
+//! eligible rules are colluding-detour faulty.
+//!
+//! Paper result: only Randomized SDNProbe drives FNR to 0, in 33
+//! seconds; the other three plateau at 15–40 % FNR no matter how long
+//! they run.
+//!
+//! The randomized curve is produced by stepping a detection session
+//! round by round and recording (cumulative delay, FNR) after each; the
+//! static schemes are run to completion and contribute flat lines.
+//!
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9c [--rounds N]`
+
+use sdnprobe::{accuracy, ProbeConfig, RandomizedSdnProbe, SdnProbe};
+use sdnprobe_baselines::{Atpg, PerRuleTester};
+use sdnprobe_bench::{arg, f3, secs, summary, ResultTable};
+use sdnprobe_topology::generate::rocketfuel_like;
+use sdnprobe_workloads::{
+    inject_colluding_detours, synthesize, SyntheticNetwork, WorkloadSpec,
+};
+
+fn build(seed: u64) -> SyntheticNetwork {
+    // Large and sparse enough that the ~50% faulty rules spread across
+    // distinct switches (collisions would deflate per-switch FNR).
+    let topo = rocketfuel_like(60, 105, seed);
+    synthesize(
+        &topo,
+        &WorkloadSpec {
+            flows: 80,
+            k: 3,
+            nested_fraction: 0.0,
+            diversion_fraction: 0.0,
+            min_path_len: 5,
+            seed,
+        },
+    )
+}
+
+fn main() {
+    let rounds: usize = arg("rounds").unwrap_or(60);
+    let seed = 13_000u64;
+    // "50% of rules are faulty": as many detour pairs as the eligible
+    // flows allow.
+    let probe = build(seed);
+    let eligible = probe.flows.len();
+    let pairs = eligible / 2;
+
+    let mut table = ResultTable::new(
+        "Figure 9(c): FNR vs detection delay at 50% detour-faulty rules",
+        &["scheme", "delay-s", "fnr"],
+    );
+
+    // Static schemes: flat lines.
+    let mut sn = build(seed);
+    inject_colluding_detours(&mut sn, pairs, 1, seed);
+    let r = SdnProbe::new().detect(&mut sn.network).expect("detect");
+    let sdn_fnr = accuracy(&sn.network, &r.faulty_switches).false_negative_rate;
+    table.push(&[
+        "sdnprobe".to_string(),
+        f3(secs(r.generation_ns + r.elapsed_ns)),
+        f3(sdn_fnr),
+    ]);
+
+    let mut sn = build(seed);
+    inject_colluding_detours(&mut sn, pairs, 1, seed);
+    let r = Atpg::new().detect(&mut sn.network).expect("detect");
+    let atpg_fnr = accuracy(&sn.network, &r.faulty_switches).false_negative_rate;
+    table.push(&[
+        "atpg".to_string(),
+        f3(secs(r.generation_ns + r.elapsed_ns)),
+        f3(atpg_fnr),
+    ]);
+
+    let mut sn = build(seed);
+    inject_colluding_detours(&mut sn, pairs, 1, seed);
+    let config = ProbeConfig {
+        suspicion_threshold: 0,
+        ..ProbeConfig::default()
+    };
+    let r = PerRuleTester::with_config(config)
+        .detect(&mut sn.network)
+        .expect("detect");
+    let rule_fnr = accuracy(&sn.network, &r.faulty_switches).false_negative_rate;
+    table.push(&[
+        "per-rule".to_string(),
+        f3(secs(r.generation_ns + r.elapsed_ns)),
+        f3(rule_fnr),
+    ]);
+
+    // Randomized SDNProbe: the FNR-over-time curve.
+    let mut sn = build(seed);
+    inject_colluding_detours(&mut sn, pairs, 1, seed);
+    let prober = RandomizedSdnProbe::new(seed);
+    let mut session = prober.session(&sn.network).expect("graph");
+    let mut elapsed = session.graph_build_ns();
+    let mut zero_at = None;
+    for round in 1..=rounds {
+        let report = session.step(&mut sn.network).expect("step");
+        elapsed += report.generation_ns + report.elapsed_ns;
+        // FNR against switches flagged so far (suspicion persists).
+        let flagged = report.faulty_switches.clone();
+        let fnr = accuracy(&sn.network, &flagged).false_negative_rate;
+        table.push(&[
+            format!("randomized(r{round})"),
+            f3(secs(elapsed)),
+            f3(fnr),
+        ]);
+        if fnr == 0.0 {
+            zero_at = Some(secs(elapsed));
+            break;
+        }
+    }
+
+    table.print();
+    table.save("fig9c");
+    summary(&[
+        (
+            "Randomized reaches FNR=0 (paper: yes, at 33 s)",
+            zero_at
+                .map(|t| format!("yes, at {} s", f3(t)))
+                .unwrap_or_else(|| "not within the round budget".to_string()),
+        ),
+        (
+            "static schemes plateau above 0 (paper: 15-40% FNR)",
+            format!(
+                "sdnprobe {}, atpg {}, per-rule {}",
+                f3(sdn_fnr),
+                f3(atpg_fnr),
+                f3(rule_fnr)
+            ),
+        ),
+    ]);
+}

@@ -1,0 +1,149 @@
+//! Shared infrastructure for the SDNProbe experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index): it prints the same
+//! rows/series the paper reports, plus a `paper-vs-measured` summary,
+//! and optionally dumps machine-readable JSON under `results/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A printable, JSON-exportable result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultTable {
+    /// Table title (e.g. `Figure 8(a)`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header count.
+    pub fn push<D: Display>(&mut self, row: &[D]) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Writes the table as JSON under `results/<name>.json` (best
+    /// effort: failures are reported but not fatal).
+    pub fn save(&self, name: &str) {
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("  [saved {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        }
+    }
+}
+
+/// True if `--flag` appears on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// The value after `--name` on the command line, parsed.
+pub fn arg<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == &format!("--{name}"))?;
+    args.get(pos + 1)?.parse().ok()
+}
+
+/// Nanoseconds → seconds for display.
+pub fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Prints the paper-vs-measured comparison block.
+pub fn summary(lines: &[(&str, String)]) {
+    println!("\n-- paper vs measured --");
+    for (k, v) in lines {
+        println!("  {k}: {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = ResultTable::new("test", &["a", "b"]);
+        t.push(&[1, 2]);
+        t.push(&[30, 40]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][1], "40");
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = ResultTable::new("test", &["a", "b"]);
+        t.push(&[1]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(secs(1_500_000_000), 1.5);
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,127 @@
+//! `sdnprobe` — command-line interface to the SDNProbe reproduction.
+//!
+//! ```text
+//! sdnprobe synth   --switches 20 --links 36 --flows 40 --seed 7 -o scenario.json
+//! sdnprobe synth   --campus -o campus.json
+//! sdnprobe plan    scenario.json [--verbose]
+//! sdnprobe diagnose scenario.json
+//! sdnprobe detect  scenario.json [--randomized --rounds 20] [--seed 7]
+//! sdnprobe monitor scenario.json [--rounds 50] [--seed 7]
+//! sdnprobe trace   scenario.json --at 0 --header 00000000...
+//! ```
+//!
+//! Scenarios are JSON documents (see `spec` module): topology, flow
+//! rules, and optional injected faults. `synth` generates them from the
+//! evaluation workload generator; the other commands consume them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod commands;
+mod spec;
+
+use std::process::ExitCode;
+
+use spec::ScenarioSpec;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sdnprobe synth [--switches N] [--links N] [--flows N] [--faults N] [--seed N] [--campus] -o FILE\n  sdnprobe plan FILE [--verbose]\n  sdnprobe diagnose FILE\n  sdnprobe detect FILE [--randomized] [--rounds N] [--seed N]\n  sdnprobe trace FILE --at SWITCH --header BITS\n  sdnprobe monitor FILE [--rounds N] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == name)?;
+    args.get(pos + 1)?.parse().ok()
+}
+
+fn load(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ScenarioSpec::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result: Result<Vec<String>, String> = match command.as_str() {
+        "synth" => {
+            let spec = if flag(&args, "--campus") {
+                commands::synth_campus(value(&args, "--seed").unwrap_or(2018))
+            } else {
+                commands::synth(
+                    value(&args, "--switches").unwrap_or(20),
+                    value(&args, "--links").unwrap_or(36),
+                    value(&args, "--flows").unwrap_or(40),
+                    value(&args, "--faults").unwrap_or(0),
+                    value(&args, "--seed").unwrap_or(7),
+                )
+            };
+            match value::<String>(&args, "-o").or_else(|| value(&args, "--out")) {
+                Some(path) => std::fs::write(&path, spec.to_json())
+                    .map(|()| vec![format!("wrote {} rules to {path}", spec.rules.len())])
+                    .map_err(|e| format!("{path}: {e}")),
+                None => Ok(vec![spec.to_json()]),
+            }
+        }
+        "plan" => match args.get(1) {
+            Some(path) => load(path)
+                .and_then(|s| commands::plan(&s, flag(&args, "--verbose")).map_err(|e| e.to_string())),
+            None => return usage(),
+        },
+        "diagnose" => match args.get(1) {
+            Some(path) => load(path).and_then(|s| commands::diagnose(&s).map_err(|e| e.to_string())),
+            None => return usage(),
+        },
+        "monitor" => match args.get(1) {
+            Some(path) => load(path).and_then(|s| {
+                commands::monitor(
+                    &s,
+                    value(&args, "--rounds").unwrap_or(20),
+                    value(&args, "--seed").unwrap_or(7),
+                )
+                .map_err(|e| e.to_string())
+            }),
+            None => return usage(),
+        },
+        "trace" => match args.get(1) {
+            Some(path) => load(path).and_then(|s| {
+                let at = value(&args, "--at").unwrap_or(0usize);
+                let header: String = value(&args, "--header").unwrap_or_default();
+                commands::trace(&s, at, &header).map_err(|e| e.to_string())
+            }),
+            None => return usage(),
+        },
+        "detect" => match args.get(1) {
+            Some(path) => load(path).and_then(|s| {
+                commands::detect(
+                    &s,
+                    flag(&args, "--randomized"),
+                    value(&args, "--rounds").unwrap_or(10),
+                    value(&args, "--seed").unwrap_or(7),
+                )
+                .map_err(|e| e.to_string())
+            }),
+            None => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

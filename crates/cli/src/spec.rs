@@ -1,0 +1,373 @@
+//! On-disk scenario format.
+//!
+//! A scenario is a JSON document describing a topology, its flow rules,
+//! and optionally a set of injected faults — everything needed to
+//! reproduce a detection run from the command line or check a policy
+//! statically. `sdnprobe synth` writes these; `plan`, `diagnose`, and
+//! `detect` consume them.
+
+use serde::{Deserialize, Serialize};
+use sdnprobe_dataplane::{
+    Action, Activation, EntryId, FaultKind, FaultSpec, FlowEntry, Network, TableId,
+};
+use sdnprobe_headerspace::Ternary;
+use sdnprobe_topology::{PortId, SwitchId, Topology};
+
+/// Errors when loading or building a scenario.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// JSON or I/O problem.
+    Io(String),
+    /// The scenario content is inconsistent.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(m) => write!(f, "scenario i/o error: {m}"),
+            Self::Invalid(m) => write!(f, "invalid scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The topology section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Number of switches.
+    pub switches: usize,
+    /// Undirected links as switch-id pairs.
+    pub links: Vec<(usize, usize)>,
+}
+
+/// A rule's action.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ActionSpec {
+    /// Forward toward a neighbouring switch (resolved to a port).
+    Forward {
+        /// The neighbour switch id.
+        to: usize,
+    },
+    /// Egress toward hosts on a raw port number.
+    HostPort {
+        /// The port number.
+        port: u32,
+    },
+    /// Drop.
+    Drop,
+    /// Punt to the controller.
+    Controller,
+}
+
+/// One flow entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleSpec {
+    /// Hosting switch.
+    pub switch: usize,
+    /// Ternary match string, e.g. `"0010xxxx"`.
+    pub match_field: String,
+    /// Optional ternary set field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub set_field: Option<String>,
+    /// Action.
+    pub action: ActionSpec,
+    /// Priority (higher wins).
+    #[serde(default)]
+    pub priority: u16,
+}
+
+/// A fault attached to a rule by index into `rules`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultSpecDef {
+    /// Silently drop matched packets.
+    Drop {
+        /// Index into the scenario's `rules`.
+        rule: usize,
+    },
+    /// Rewrite matched packets with this ternary before forwarding.
+    Modify {
+        /// Index into the scenario's `rules`.
+        rule: usize,
+        /// Malicious set field.
+        set_field: String,
+    },
+    /// Forward matched packets out of the wrong port.
+    Misdirect {
+        /// Index into the scenario's `rules`.
+        rule: usize,
+        /// The wrong port.
+        port: u32,
+    },
+    /// Tunnel matched packets to a colluding switch.
+    Detour {
+        /// Index into the scenario's `rules`.
+        rule: usize,
+        /// The colluding switch.
+        partner: usize,
+    },
+}
+
+impl FaultSpecDef {
+    /// The rule index this fault applies to.
+    pub fn rule(&self) -> usize {
+        match self {
+            Self::Drop { rule }
+            | Self::Modify { rule, .. }
+            | Self::Misdirect { rule, .. }
+            | Self::Detour { rule, .. } => *rule,
+        }
+    }
+}
+
+/// Optional non-persistent activation for a fault, by fault index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "mode", rename_all = "snake_case")]
+pub enum ActivationSpec {
+    /// Active only during a window of each period.
+    Intermittent {
+        /// Index into `faults`.
+        fault: usize,
+        /// Period in milliseconds.
+        period_ms: u64,
+        /// Active window in milliseconds.
+        active_ms: u64,
+    },
+    /// Active only for headers matching the pattern.
+    Targeting {
+        /// Index into `faults`.
+        fault: usize,
+        /// Victim ternary pattern.
+        pattern: String,
+    },
+}
+
+/// A complete scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Free-form description.
+    #[serde(default)]
+    pub description: String,
+    /// The topology.
+    pub topology: TopologySpec,
+    /// Flow rules.
+    pub rules: Vec<RuleSpec>,
+    /// Injected faults (empty = healthy network).
+    #[serde(default)]
+    pub faults: Vec<FaultSpecDef>,
+    /// Activation overrides for faults (default: persistent).
+    #[serde(default)]
+    pub activations: Vec<ActivationSpec>,
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Io`] on malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Io(e.to_string()))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Builds the simulated network and injects the faults. Returns the
+    /// network plus the entry id of each rule (same order as `rules`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] when indices are out of range,
+    /// patterns fail to parse, or a forward target is not adjacent.
+    pub fn build(&self) -> Result<(Network, Vec<EntryId>), SpecError> {
+        let mut topo = Topology::new(self.topology.switches);
+        for &(a, b) in &self.topology.links {
+            if a >= self.topology.switches || b >= self.topology.switches {
+                return Err(SpecError::Invalid(format!("link ({a},{b}) out of range")));
+            }
+            topo.add_link(SwitchId(a), SwitchId(b));
+        }
+        let mut net = Network::new(topo);
+        let mut entries = Vec::with_capacity(self.rules.len());
+        for (i, rule) in self.rules.iter().enumerate() {
+            let m: Ternary = rule
+                .match_field
+                .parse()
+                .map_err(|e| SpecError::Invalid(format!("rule {i} match: {e}")))?;
+            let action = match &rule.action {
+                ActionSpec::Forward { to } => {
+                    let port = net
+                        .topology()
+                        .port_towards(SwitchId(rule.switch), SwitchId(*to))
+                        .ok_or_else(|| {
+                            SpecError::Invalid(format!(
+                                "rule {i}: switch {} is not adjacent to {}",
+                                rule.switch, to
+                            ))
+                        })?;
+                    Action::Output(port)
+                }
+                ActionSpec::HostPort { port } => Action::Output(PortId(*port)),
+                ActionSpec::Drop => Action::Drop,
+                ActionSpec::Controller => Action::ToController,
+            };
+            let mut entry = FlowEntry::new(m, action).with_priority(rule.priority);
+            if let Some(sf) = &rule.set_field {
+                let sf: Ternary = sf
+                    .parse()
+                    .map_err(|e| SpecError::Invalid(format!("rule {i} set field: {e}")))?;
+                entry = entry.with_set_field(sf);
+            }
+            let id = net
+                .install(SwitchId(rule.switch), TableId(0), entry)
+                .map_err(|e| SpecError::Invalid(format!("rule {i}: {e}")))?;
+            entries.push(id);
+        }
+        for (fi, fault) in self.faults.iter().enumerate() {
+            let rule = fault.rule();
+            let &entry = entries
+                .get(rule)
+                .ok_or_else(|| SpecError::Invalid(format!("fault {fi}: rule {rule} missing")))?;
+            let kind = match fault {
+                FaultSpecDef::Drop { .. } => FaultKind::Drop,
+                FaultSpecDef::Modify { set_field, .. } => FaultKind::Modify(
+                    set_field
+                        .parse()
+                        .map_err(|e| SpecError::Invalid(format!("fault {fi}: {e}")))?,
+                ),
+                FaultSpecDef::Misdirect { port, .. } => FaultKind::Misdirect(PortId(*port)),
+                FaultSpecDef::Detour { partner, .. } => FaultKind::Detour {
+                    partner: SwitchId(*partner),
+                },
+            };
+            let mut spec = FaultSpec::new(kind);
+            for act in &self.activations {
+                match act {
+                    ActivationSpec::Intermittent {
+                        fault,
+                        period_ms,
+                        active_ms,
+                    } if *fault == fi => {
+                        spec = spec.with_activation(Activation::Intermittent {
+                            period_ns: period_ms * 1_000_000,
+                            active_ns: active_ms * 1_000_000,
+                        });
+                    }
+                    ActivationSpec::Targeting { fault, pattern } if *fault == fi => {
+                        spec = spec.with_activation(Activation::Targeting(
+                            pattern
+                                .parse()
+                                .map_err(|e| SpecError::Invalid(format!("fault {fi}: {e}")))?,
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            net.inject_fault(entry, spec)
+                .map_err(|e| SpecError::Invalid(format!("fault {fi}: {e}")))?;
+        }
+        Ok((net, entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnprobe_dataplane::Outcome;
+    use sdnprobe_headerspace::Header;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec {
+            description: "two-switch line".into(),
+            topology: TopologySpec {
+                switches: 2,
+                links: vec![(0, 1)],
+            },
+            rules: vec![
+                RuleSpec {
+                    switch: 0,
+                    match_field: "00xxxxxx".into(),
+                    set_field: None,
+                    action: ActionSpec::Forward { to: 1 },
+                    priority: 0,
+                },
+                RuleSpec {
+                    switch: 1,
+                    match_field: "00xxxxxx".into(),
+                    set_field: None,
+                    action: ActionSpec::HostPort { port: 40 },
+                    priority: 0,
+                },
+            ],
+            faults: vec![],
+            activations: vec![],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = sample();
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back.rules.len(), 2);
+        assert_eq!(back.topology.switches, 2);
+    }
+
+    #[test]
+    fn build_produces_working_network() {
+        let (net, entries) = sample().build().unwrap();
+        assert_eq!(entries.len(), 2);
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        assert!(matches!(trace.outcome, Outcome::LeftNetwork { .. }));
+    }
+
+    #[test]
+    fn faults_and_activations_apply() {
+        let mut spec = sample();
+        spec.faults.push(FaultSpecDef::Drop { rule: 1 });
+        spec.activations.push(ActivationSpec::Targeting {
+            fault: 0,
+            pattern: "00000000".into(),
+        });
+        let (net, entries) = spec.build().unwrap();
+        assert!(net.fault(entries[1]).is_some());
+        // Only the targeted header dies.
+        assert!(net.inject(SwitchId(0), Header::new(0, 8)).observation().is_none()
+            || matches!(
+                net.inject(SwitchId(0), Header::new(0, 8)).outcome,
+                Outcome::Dropped { .. }
+            ));
+        assert!(matches!(
+            net.inject(SwitchId(0), Header::new(0b100, 8)).outcome,
+            Outcome::LeftNetwork { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut bad = sample();
+        bad.topology.links.push((0, 9));
+        assert!(bad.build().is_err());
+
+        let mut bad = sample();
+        bad.rules[0].match_field = "01q".into();
+        assert!(bad.build().is_err());
+
+        let mut bad = sample();
+        bad.rules[0].action = ActionSpec::Forward { to: 0 };
+        assert!(bad.build().is_err(), "not adjacent to itself");
+
+        let mut bad = sample();
+        bad.faults.push(FaultSpecDef::Drop { rule: 99 });
+        assert!(bad.build().is_err());
+
+        assert!(ScenarioSpec::from_json("{not json").is_err());
+    }
+}

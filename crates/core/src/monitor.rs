@@ -1,0 +1,250 @@
+//! Continuous monitoring: a long-lived detection loop.
+//!
+//! One-shot detection answers "is the data plane misbehaving right
+//! now?"; production controllers instead keep probing forever, because
+//! intermittent faults surface over time and targeting faults surface
+//! only when probes ride real traffic. [`Monitor`] packages the loop the
+//! paper's Algorithm 2 implies: a randomized session whose suspicion
+//! persists, optional sFlow-style traffic weighting, and a stream of
+//! per-round [`MonitorEvent`]s for the operator.
+
+use sdnprobe_dataplane::Network;
+use sdnprobe_rulegraph::RuleGraphError;
+use sdnprobe_topology::SwitchId;
+
+use crate::app::{DetectError, RandomizedSdnProbe, RandomizedSession};
+use crate::localize::ProbeConfig;
+use crate::traffic::TrafficProfile;
+
+/// What a monitoring round observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorEvent {
+    /// Monotonic round number (1-based).
+    pub round: u64,
+    /// Switches newly flagged this round.
+    pub newly_flagged: Vec<SwitchId>,
+    /// All switches flagged so far.
+    pub flagged: Vec<SwitchId>,
+    /// Probes sent this round.
+    pub probes_sent: usize,
+    /// Virtual nanoseconds this round consumed.
+    pub elapsed_ns: u64,
+}
+
+impl MonitorEvent {
+    /// True when this round found something new.
+    pub fn has_news(&self) -> bool {
+        !self.newly_flagged.is_empty()
+    }
+}
+
+/// A long-lived randomized monitoring loop over one network.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe::Monitor;
+/// use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+/// use sdnprobe_topology::{PortId, SwitchId, Topology};
+///
+/// let mut topo = Topology::new(2);
+/// topo.add_link(SwitchId(0), SwitchId(1));
+/// let mut net = Network::new(topo);
+/// let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+/// net.install(SwitchId(0), TableId(0),
+///     FlowEntry::new("00xxxxxx".parse()?, Action::Output(p)))?;
+/// net.install(SwitchId(1), TableId(0),
+///     FlowEntry::new("00xxxxxx".parse()?, Action::Output(PortId(40))))?;
+///
+/// let mut monitor = Monitor::new(&net, 7)?;
+/// let event = monitor.tick(&mut net)?;
+/// assert!(event.flagged.is_empty(), "healthy network");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Monitor {
+    session: RandomizedSession,
+    profile: TrafficProfile,
+    use_traffic: bool,
+    round: u64,
+    flagged: Vec<SwitchId>,
+}
+
+impl Monitor {
+    /// Opens a monitor over the network's current policy with default
+    /// probing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error when the policy loops or has no forwarding
+    /// rules.
+    pub fn new(net: &Network, seed: u64) -> Result<Self, RuleGraphError> {
+        Self::with_config(net, seed, ProbeConfig::default())
+    }
+
+    /// Opens a monitor with custom probing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error when the policy loops or has no forwarding
+    /// rules.
+    pub fn with_config(
+        net: &Network,
+        seed: u64,
+        config: ProbeConfig,
+    ) -> Result<Self, RuleGraphError> {
+        let session = RandomizedSdnProbe::with_config(config, seed).session(net)?;
+        Ok(Self {
+            session,
+            profile: TrafficProfile::new(256),
+            use_traffic: false,
+            round: 0,
+            flagged: Vec::new(),
+        })
+    }
+
+    /// The traffic profile probes are weighted by once
+    /// [`Monitor::enable_traffic_weighting`] is on; feed it sFlow-style
+    /// samples via [`TrafficProfile::record`] or
+    /// [`TrafficProfile::observe_trace`].
+    pub fn traffic_profile_mut(&mut self) -> &mut TrafficProfile {
+        &mut self.profile
+    }
+
+    /// Switches flagged so far.
+    pub fn flagged(&self) -> &[SwitchId] {
+        &self.flagged
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Turns on traffic-weighted probe headers (the paper's sFlow-based
+    /// `HS(ℓ) ∩ h^t(ℓ)` sampling).
+    pub fn enable_traffic_weighting(&mut self) {
+        self.use_traffic = true;
+    }
+
+    /// Runs one monitoring round: fresh randomized paths and headers,
+    /// probing, localization, teardown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] if instrumentation fails.
+    pub fn tick(&mut self, net: &mut Network) -> Result<MonitorEvent, DetectError> {
+        self.round += 1;
+        let report = if self.use_traffic {
+            self.session.step_weighted(net, &self.profile)?
+        } else {
+            self.session.step(net)?
+        };
+        let newly: Vec<SwitchId> = report
+            .faulty_switches
+            .iter()
+            .filter(|s| !self.flagged.contains(s))
+            .copied()
+            .collect();
+        self.flagged.extend(newly.iter().copied());
+        self.flagged.sort_unstable();
+        Ok(MonitorEvent {
+            round: self.round,
+            newly_flagged: newly,
+            flagged: self.flagged.clone(),
+            probes_sent: report.probes_sent,
+            elapsed_ns: report.elapsed_ns,
+        })
+    }
+
+    /// Runs rounds until something new is flagged or `max_rounds` pass;
+    /// returns the first newsworthy event (or the last quiet one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] if instrumentation fails.
+    pub fn run_until_news(
+        &mut self,
+        net: &mut Network,
+        max_rounds: u64,
+    ) -> Result<MonitorEvent, DetectError> {
+        let mut last = self.tick(net)?;
+        for _ in 1..max_rounds {
+            if last.has_news() {
+                break;
+            }
+            last = self.tick(net)?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnprobe_dataplane::{Action, FaultKind, FaultSpec, FlowEntry, TableId};
+    use sdnprobe_topology::{PortId, Topology};
+
+    fn line3() -> Network {
+        let mut topo = Topology::new(3);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        topo.add_link(SwitchId(1), SwitchId(2));
+        let mut net = Network::new(topo);
+        for i in 0..3usize {
+            let action = if i < 2 {
+                Action::Output(
+                    net.topology()
+                        .port_towards(SwitchId(i), SwitchId(i + 1))
+                        .unwrap(),
+                )
+            } else {
+                Action::Output(PortId(40))
+            };
+            net.install(
+                SwitchId(i),
+                TableId(0),
+                FlowEntry::new("00xxxxxx".parse().unwrap(), action),
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn quiet_on_healthy_network() {
+        let mut net = line3();
+        let mut monitor = Monitor::new(&net, 1).unwrap();
+        for _ in 0..5 {
+            let event = monitor.tick(&mut net).unwrap();
+            assert!(!event.has_news());
+            assert!(event.flagged.is_empty());
+            assert!(event.probes_sent > 0);
+        }
+        assert_eq!(monitor.rounds(), 5);
+    }
+
+    #[test]
+    fn news_on_fault_appearing_mid_monitoring() {
+        let mut net = line3();
+        let mut monitor = Monitor::new(&net, 2).unwrap();
+        assert!(!monitor.tick(&mut net).unwrap().has_news());
+        // The switch is compromised *while* monitoring runs.
+        let victim = net.entries_on(SwitchId(1))[0];
+        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+        let event = monitor.run_until_news(&mut net, 20).unwrap();
+        assert_eq!(event.newly_flagged, vec![SwitchId(1)]);
+        assert_eq!(monitor.flagged(), &[SwitchId(1)]);
+    }
+
+    #[test]
+    fn traffic_weighting_toggle_works() {
+        let mut net = line3();
+        let mut monitor = Monitor::new(&net, 3).unwrap();
+        monitor
+            .traffic_profile_mut()
+            .record(SwitchId(0), sdnprobe_headerspace::Header::new(0b100, 8));
+        monitor.enable_traffic_weighting();
+        let event = monitor.tick(&mut net).unwrap();
+        assert!(!event.has_news());
+    }
+}

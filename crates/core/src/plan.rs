@@ -1,0 +1,66 @@
+//! Test plans: the output of test-packet generation.
+
+use sdnprobe_headerspace::{Header, HeaderSet};
+use sdnprobe_rulegraph::{RuleGraph, VertexId};
+use sdnprobe_topology::SwitchId;
+
+/// One planned probe: a tested path and the concrete packet exercising
+/// it.
+#[derive(Debug, Clone)]
+pub struct PlannedProbe {
+    /// The cover path over legal-closure edges (what the matching
+    /// produced).
+    pub cover: Vec<VertexId>,
+    /// The expanded real path (consecutive step-1 edges) the packet
+    /// traverses — every rule on it is covered by this probe.
+    pub path: Vec<VertexId>,
+    /// Entry header space `HS(ℓ)` of the real path.
+    pub header_space: HeaderSet,
+    /// The chosen probe header (unique among the plan's probes).
+    pub header: Header,
+    /// Switch where the probe is injected.
+    pub entry_switch: SwitchId,
+    /// Switch hosting the terminal rule (where the test entry returns the
+    /// probe to the controller).
+    pub terminal_switch: SwitchId,
+}
+
+/// A complete test plan: the minimum (or randomized) probe set plus any
+/// rules that cannot be exercised.
+#[derive(Debug, Clone)]
+pub struct TestPlan {
+    /// The probes, one per legal cover path.
+    pub probes: Vec<PlannedProbe>,
+    /// Fully shadowed rules: no packet can ever trigger them, so no probe
+    /// can cover them (they also cannot affect traffic).
+    pub shadowed: Vec<VertexId>,
+}
+
+impl TestPlan {
+    /// Number of test packets — the paper's headline metric (TPC).
+    pub fn packet_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Total probe bytes sent per round, given a per-probe size.
+    pub fn bytes_per_round(&self, probe_bytes: usize) -> usize {
+        self.probes.len() * probe_bytes
+    }
+
+    /// Checks that every non-shadowed vertex of the graph lies on at
+    /// least one probe's real path (the paper's coverage guarantee).
+    pub fn covers_all_rules(&self, graph: &RuleGraph) -> bool {
+        let mut covered = vec![false; 0];
+        let max = graph.vertex_ids().map(|v| v.0).max().unwrap_or(0);
+        covered.resize(max + 1, false);
+        for p in &self.probes {
+            for v in &p.path {
+                covered[v.0] = true;
+            }
+        }
+        for v in &self.shadowed {
+            covered[v.0] = true;
+        }
+        graph.vertex_ids().all(|v| covered[v.0])
+    }
+}

@@ -1,0 +1,79 @@
+//! Diagnostic: ensure the MLPC property test exercises non-trivial
+//! instances (multi-rule graphs with closure edges), not just empty or
+//! degenerate draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdnprobe::generate;
+use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+use sdnprobe_headerspace::Ternary;
+use sdnprobe_rulegraph::RuleGraph;
+use sdnprobe_topology::{PortId, SwitchId, Topology};
+
+fn random_network(seed: u64, switches: usize, rules: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new(switches);
+    for i in 1..switches {
+        topo.add_link(SwitchId(rng.gen_range(0..i)), SwitchId(i));
+    }
+    let mut net = Network::new(topo);
+    for _ in 0..rules {
+        let s = SwitchId(rng.gen_range(0..switches));
+        let plen = rng.gen_range(0..=5);
+        let m = Ternary::prefix(rng.gen::<u8>() as u128, plen, 8);
+        let forward: Vec<PortId> = net
+            .topology()
+            .neighbors(s)
+            .iter()
+            .filter(|n| n.peer.0 > s.0)
+            .map(|n| n.port)
+            .collect();
+        let action = if forward.is_empty() || rng.gen_bool(0.35) {
+            Action::Output(PortId(40))
+        } else {
+            Action::Output(forward[rng.gen_range(0..forward.len())])
+        };
+        let mut e = FlowEntry::new(m, action).with_priority(rng.gen_range(0..4));
+        if rng.gen_bool(0.25) {
+            e = e.with_set_field(Ternary::prefix(rng.gen::<u8>() as u128, rng.gen_range(0..3), 8));
+        }
+        let _ = net.install(s, TableId(0), e);
+    }
+    net
+}
+
+#[test]
+fn instance_distribution_is_non_trivial() {
+    let mut with_edges = 0;
+    let mut with_closure_shortcuts = 0;
+    let mut multi_rule_paths = 0;
+    let total = 500;
+    for seed in 0..total {
+        let net = random_network(seed, 4, 8);
+        let Ok(graph) = RuleGraph::from_network(&net) else {
+            continue;
+        };
+        if graph.step1_edge_count() > 0 {
+            with_edges += 1;
+        }
+        if graph.closure_edge_count() > graph.step1_edge_count() {
+            with_closure_shortcuts += 1;
+        }
+        let plan = generate(&graph);
+        if plan.probes.iter().any(|p| p.path.len() >= 3) {
+            multi_rule_paths += 1;
+        }
+    }
+    assert!(
+        with_edges > total / 2,
+        "only {with_edges}/{total} instances have edges"
+    );
+    assert!(
+        with_closure_shortcuts > total / 20,
+        "only {with_closure_shortcuts}/{total} instances exercise the closure"
+    );
+    assert!(
+        multi_rule_paths > total / 10,
+        "only {multi_rule_paths}/{total} instances have 3-rule probes"
+    );
+}

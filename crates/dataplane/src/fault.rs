@@ -1,0 +1,166 @@
+//! Switch failure model (§III-B of the paper).
+//!
+//! A switch is faulty when one or more of its flow entries execute
+//! incorrectly. A faulty entry may **misdirect** packets to the wrong
+//! port, **drop** them, or **modify** their headers. Faults may be
+//! *persistent*, *intermittent* (active only during certain time
+//! periods), or *targeting* (affecting only certain headers inside the
+//! rule's match). Colluding switches may **detour** packets off the
+//! tested path so that they re-join it later, evading static probes.
+//!
+//! Faults are attached to installed entries via
+//! [`crate::Network::inject_fault`]; the simulator consults them during
+//! forwarding.
+
+use serde::{Deserialize, Serialize};
+use sdnprobe_headerspace::{Header, Ternary};
+use sdnprobe_topology::{PortId, SwitchId};
+
+/// The incorrect behaviour a faulty entry exhibits when active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Silently discard the packet instead of executing the action.
+    Drop,
+    /// Rewrite the header with this (malicious) set field before
+    /// executing the normal action.
+    Modify(Ternary),
+    /// Output to this port instead of the intended one.
+    Misdirect(PortId),
+    /// Collude with `partner`: tunnel the packet out-of-band to the
+    /// partner switch, which resumes normal pipeline processing there.
+    ///
+    /// If the partner lies further along the packet's normal path, the
+    /// packet re-joins the path and the detour is invisible end-to-end
+    /// (§V-C); otherwise the packet strands and the fault becomes
+    /// observable.
+    Detour {
+        /// The colluding switch that receives the tunneled packet.
+        partner: SwitchId,
+    },
+}
+
+/// When a fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Always active.
+    Persistent,
+    /// Active only while `(now % period_ns) < active_ns` — the paper's
+    /// intermittent fault that "selectively affects packets only during
+    /// certain time periods".
+    Intermittent {
+        /// Length of the repeating period in virtual nanoseconds.
+        period_ns: u64,
+        /// Active window at the start of each period.
+        active_ns: u64,
+    },
+    /// Active only for headers matching this pattern — the paper's
+    /// targeting fault ("only affect the destination IP 10.10.1.1" inside
+    /// a wider rule).
+    Targeting(Ternary),
+}
+
+/// A complete fault specification for one flow entry.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_dataplane::{Activation, FaultKind, FaultSpec};
+///
+/// let fault = FaultSpec::new(FaultKind::Drop)
+///     .with_activation(Activation::Targeting("00100xxx".parse()?));
+/// assert!(!fault.is_active(0, sdnprobe_headerspace::Header::new(0xFF, 8)));
+/// # Ok::<(), sdnprobe_headerspace::HeaderSpaceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    kind: FaultKind,
+    activation: Activation,
+}
+
+impl FaultSpec {
+    /// A persistent fault of the given kind.
+    pub fn new(kind: FaultKind) -> Self {
+        Self {
+            kind,
+            activation: Activation::Persistent,
+        }
+    }
+
+    /// Sets the activation condition.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The faulty behaviour.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// The activation condition.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Whether the fault manifests for this packet at this virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a targeting pattern's length differs from the header's.
+    pub fn is_active(&self, now_ns: u64, header: Header) -> bool {
+        match self.activation {
+            Activation::Persistent => true,
+            Activation::Intermittent {
+                period_ns,
+                active_ns,
+            } => {
+                assert!(period_ns > 0, "intermittent period must be positive");
+                now_ns % period_ns < active_ns
+            }
+            Activation::Targeting(pattern) => pattern.matches(header),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistent_always_active() {
+        let f = FaultSpec::new(FaultKind::Drop);
+        assert!(f.is_active(0, Header::new(0, 8)));
+        assert!(f.is_active(u64::MAX, Header::new(255, 8)));
+    }
+
+    #[test]
+    fn intermittent_windows() {
+        let f = FaultSpec::new(FaultKind::Drop).with_activation(Activation::Intermittent {
+            period_ns: 100,
+            active_ns: 30,
+        });
+        let h = Header::new(0, 8);
+        assert!(f.is_active(0, h));
+        assert!(f.is_active(29, h));
+        assert!(!f.is_active(30, h));
+        assert!(!f.is_active(99, h));
+        assert!(f.is_active(100, h));
+        assert!(f.is_active(129, h));
+    }
+
+    #[test]
+    fn targeting_matches_only_victims() {
+        let victim: Ternary = "00100xxx".parse().unwrap();
+        let f = FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(victim));
+        assert!(f.is_active(0, Header::new(0b0000_0100, 8)));
+        assert!(!f.is_active(0, Header::new(0b0001_0100, 8)));
+    }
+
+    #[test]
+    fn accessors() {
+        let f = FaultSpec::new(FaultKind::Misdirect(PortId(3)));
+        assert_eq!(f.kind(), FaultKind::Misdirect(PortId(3)));
+        assert_eq!(f.activation(), Activation::Persistent);
+    }
+}

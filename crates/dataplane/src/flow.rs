@@ -1,0 +1,193 @@
+//! Flow entries, actions, and identifiers.
+//!
+//! A [`FlowEntry`] mirrors the paper's rule-graph vertex label: *match
+//! field*, *set field*, *output action*, and *priority* (§V-A), hosted in
+//! a specific flow table of a specific switch. The action set follows
+//! OpenFlow 1.3 as used by the paper: output to a port, drop, send to the
+//! controller, or continue to a later table (`goto`), with an optional
+//! set-field rewrite applied first.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sdnprobe_headerspace::Ternary;
+use sdnprobe_topology::PortId;
+
+/// Identifier of a flow table within a switch (dense, zero-based; table
+/// 0 is where pipeline processing starts).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub usize);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Network-wide unique identifier of an installed flow entry.
+///
+/// Handles stay valid until the entry is removed; removing an entry never
+/// re-uses its id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntryId(pub u64);
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// What a flow entry does with a matched packet (after its set field is
+/// applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward out of a switch port (toward the connected neighbour).
+    Output(PortId),
+    /// Discard the packet.
+    Drop,
+    /// Punt the packet to the controller (`packet-in`).
+    ToController,
+    /// Continue matching in a later table of the same switch.
+    GotoTable(TableId),
+}
+
+/// A flow entry: match field, set field, action, and priority.
+///
+/// The set field defaults to all-wildcards, which leaves headers
+/// unchanged (the paper's `set:xxxxxxxx`).
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_dataplane::{Action, FlowEntry};
+/// use sdnprobe_topology::PortId;
+///
+/// let e = FlowEntry::new("0010xxxx".parse()?, Action::Output(PortId(1)))
+///     .with_priority(10)
+///     .with_set_field("0111xxxx".parse()?);
+/// assert_eq!(e.priority(), 10);
+/// # Ok::<(), sdnprobe_headerspace::HeaderSpaceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    match_field: Ternary,
+    set_field: Ternary,
+    action: Action,
+    priority: u16,
+}
+
+impl FlowEntry {
+    /// Creates an entry with the default (identity) set field and
+    /// priority 0.
+    pub fn new(match_field: Ternary, action: Action) -> Self {
+        Self {
+            match_field,
+            set_field: Ternary::wildcard(match_field.len()),
+            action,
+            priority: 0,
+        }
+    }
+
+    /// Sets the priority (higher wins among matching entries).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u16) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the set-field rewrite applied to matched packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set field's bit length differs from the match
+    /// field's.
+    #[must_use]
+    pub fn with_set_field(mut self, set_field: Ternary) -> Self {
+        assert_eq!(
+            set_field.len(),
+            self.match_field.len(),
+            "set field length must equal match field length"
+        );
+        self.set_field = set_field;
+        self
+    }
+
+    /// The match field.
+    pub fn match_field(&self) -> Ternary {
+        self.match_field
+    }
+
+    /// The set field (all-wildcard when the entry does not rewrite).
+    pub fn set_field(&self) -> Ternary {
+        self.set_field
+    }
+
+    /// The action.
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// Replaces the action (used by the test-entry installation procedure
+    /// that rewrites an entry's action to `goto next table`, Fig. 7).
+    #[must_use]
+    pub fn with_action(mut self, action: Action) -> Self {
+        self.action = action;
+        self
+    }
+
+    /// The priority.
+    pub fn priority(&self) -> u16 {
+        self.priority
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Ternary {
+        s.parse().expect("valid ternary")
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let e = FlowEntry::new(t("00xx"), Action::Drop)
+            .with_priority(7)
+            .with_set_field(t("11xx"))
+            .with_action(Action::ToController);
+        assert_eq!(e.match_field(), t("00xx"));
+        assert_eq!(e.set_field(), t("11xx"));
+        assert_eq!(e.priority(), 7);
+        assert_eq!(e.action(), Action::ToController);
+    }
+
+    #[test]
+    fn default_set_field_is_identity() {
+        let e = FlowEntry::new(t("0xxx"), Action::Drop);
+        assert!(e.set_field().is_wildcard());
+    }
+
+    #[test]
+    #[should_panic(expected = "set field length")]
+    fn mismatched_set_field_panics() {
+        let _ = FlowEntry::new(t("0xxx"), Action::Drop).with_set_field(t("0xxxxxxx"));
+    }
+
+    #[test]
+    fn id_displays() {
+        assert_eq!(TableId(1).to_string(), "t1");
+        assert_eq!(EntryId(9).to_string(), "e9");
+    }
+}

@@ -1,0 +1,884 @@
+//! The data-plane simulator.
+//!
+//! [`Network`] plays the role of Mininet + Open vSwitch in the paper's
+//! evaluation (§VIII): it hosts one multi-table OpenFlow pipeline per
+//! switch of a [`Topology`], forwards packets according to installed
+//! flow entries, and applies injected [`FaultSpec`]s — the paper's
+//! "attacks are simulated by modifying the flow entries".
+//!
+//! Forwarding returns a full [`ForwardingTrace`] (ground truth for
+//! evaluation metrics); detection algorithms must only consume
+//! [`ForwardingTrace::observation`], which is the packet-in event a real
+//! controller would see.
+
+use std::collections::HashMap;
+
+use sdnprobe_headerspace::Header;
+use sdnprobe_topology::{PortId, SwitchId, Topology};
+
+use crate::fault::{FaultKind, FaultSpec};
+use crate::flow::{Action, EntryId, FlowEntry, TableId};
+use crate::table::FlowTable;
+
+/// One pipeline-processing step in a forwarding trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Switch that processed the packet.
+    pub switch: SwitchId,
+    /// Table the match happened in.
+    pub table: TableId,
+    /// The matched entry.
+    pub entry: EntryId,
+    /// Header as it arrived at this entry (before its set field).
+    pub header: Header,
+}
+
+/// Where a packet ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Punted to the controller by a `ToController` action — the only
+    /// outcome a controller can observe directly.
+    PacketIn {
+        /// Switch that sent the packet-in.
+        switch: SwitchId,
+    },
+    /// Discarded (by a `Drop` action or a drop fault).
+    Dropped {
+        /// Switch where the packet died.
+        switch: SwitchId,
+    },
+    /// No entry matched in the current table (OpenFlow default: drop).
+    NoMatch {
+        /// Switch where lookup failed.
+        switch: SwitchId,
+    },
+    /// Output on a port with no connected peer (left the network, e.g.
+    /// toward a host).
+    LeftNetwork {
+        /// Egress switch.
+        switch: SwitchId,
+        /// Egress port.
+        port: PortId,
+    },
+    /// The hop budget was exhausted — a forwarding loop.
+    TtlExceeded,
+}
+
+/// Result of injecting a packet: every step taken plus the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardingTrace {
+    /// Pipeline steps in order.
+    pub steps: Vec<TraceStep>,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Header at the end of processing.
+    pub final_header: Header,
+}
+
+impl ForwardingTrace {
+    /// What the controller observes: `Some((switch, header))` if the
+    /// packet was punted to the controller, `None` otherwise.
+    ///
+    /// Fault-localization code must base decisions solely on this (plus
+    /// timing), never on the raw trace.
+    pub fn observation(&self) -> Option<(SwitchId, Header)> {
+        match self.outcome {
+            Outcome::PacketIn { switch } => Some((switch, self.final_header)),
+            _ => None,
+        }
+    }
+
+    /// The switches traversed, deduplicated in order.
+    pub fn switches_visited(&self) -> Vec<SwitchId> {
+        let mut out: Vec<SwitchId> = Vec::new();
+        for s in &self.steps {
+            if out.last() != Some(&s.switch) {
+                out.push(s.switch);
+            }
+        }
+        out
+    }
+
+    /// The entries matched, in order.
+    pub fn entries_matched(&self) -> Vec<EntryId> {
+        self.steps.iter().map(|s| s.entry).collect()
+    }
+}
+
+/// Handle to an installed entry's location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryLocation {
+    /// Hosting switch.
+    pub switch: SwitchId,
+    /// Hosting table.
+    pub table: TableId,
+}
+
+/// Errors from controller operations on the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// Referenced switch does not exist.
+    UnknownSwitch(SwitchId),
+    /// Referenced table does not exist on that switch.
+    UnknownTable(SwitchId, TableId),
+    /// Referenced entry does not exist.
+    UnknownEntry(EntryId),
+    /// `GotoTable` must target a strictly later table (OpenFlow 1.3).
+    BackwardGoto {
+        /// Table the entry lives in.
+        from: TableId,
+        /// Offending target.
+        to: TableId,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownSwitch(s) => write!(f, "unknown switch {s}"),
+            Self::UnknownTable(s, t) => write!(f, "unknown table {t} on switch {s}"),
+            Self::UnknownEntry(e) => write!(f, "unknown entry {e}"),
+            Self::BackwardGoto { from, to } => {
+                write!(f, "goto-table must move forward (from {from} to {to})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// The simulated SDN data plane: topology + per-switch pipelines +
+/// injected faults + a virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_dataplane::{Action, FlowEntry, Network, Outcome};
+/// use sdnprobe_headerspace::Header;
+/// use sdnprobe_topology::{SwitchId, Topology};
+///
+/// let mut topo = Topology::new(2);
+/// topo.add_link(SwitchId(0), SwitchId(1));
+/// let mut net = Network::new(topo);
+/// let port = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+/// net.install(
+///     SwitchId(0),
+///     sdnprobe_dataplane::TableId(0),
+///     FlowEntry::new("0xxxxxxx".parse()?, Action::Output(port)),
+/// )?;
+/// net.install(
+///     SwitchId(1),
+///     sdnprobe_dataplane::TableId(0),
+///     FlowEntry::new("0xxxxxxx".parse()?, Action::ToController),
+/// )?;
+/// let trace = net.inject(SwitchId(0), Header::new(0, 8));
+/// assert_eq!(trace.observation(), Some((SwitchId(1), Header::new(0, 8))));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    tables: Vec<Vec<FlowTable>>,
+    locations: HashMap<EntryId, EntryLocation>,
+    faults: HashMap<EntryId, FaultSpec>,
+    next_entry: u64,
+    now_ns: u64,
+}
+
+impl Network {
+    /// Creates a network over the topology with one empty table per
+    /// switch.
+    pub fn new(topology: Topology) -> Self {
+        let tables = vec![vec![FlowTable::new()]; topology.switch_count()];
+        Self {
+            topology,
+            tables,
+            locations: HashMap::new(),
+            faults: HashMap::new(),
+            next_entry: 0,
+            now_ns: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the virtual clock.
+    pub fn advance_ns(&mut self, delta: u64) {
+        self.now_ns = self.now_ns.saturating_add(delta);
+    }
+
+    /// Number of flow tables on a switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownSwitch`] for an invalid id.
+    pub fn table_count(&self, switch: SwitchId) -> Result<usize, NetworkError> {
+        self.tables
+            .get(switch.0)
+            .map(Vec::len)
+            .ok_or(NetworkError::UnknownSwitch(switch))
+    }
+
+    /// Appends a new empty table to a switch, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownSwitch`] for an invalid id.
+    pub fn add_table(&mut self, switch: SwitchId) -> Result<TableId, NetworkError> {
+        let tables = self
+            .tables
+            .get_mut(switch.0)
+            .ok_or(NetworkError::UnknownSwitch(switch))?;
+        tables.push(FlowTable::new());
+        Ok(TableId(tables.len() - 1))
+    }
+
+    /// Read access to one flow table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the switch or table does not exist.
+    pub fn flow_table(&self, switch: SwitchId, table: TableId) -> Result<&FlowTable, NetworkError> {
+        self.tables
+            .get(switch.0)
+            .ok_or(NetworkError::UnknownSwitch(switch))?
+            .get(table.0)
+            .ok_or(NetworkError::UnknownTable(switch, table))
+    }
+
+    /// Installs a flow entry, returning its network-wide id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the location does not exist or the entry's
+    /// `GotoTable` action does not move strictly forward.
+    pub fn install(
+        &mut self,
+        switch: SwitchId,
+        table: TableId,
+        entry: FlowEntry,
+    ) -> Result<EntryId, NetworkError> {
+        if let Action::GotoTable(to) = entry.action() {
+            if to.0 <= table.0 {
+                return Err(NetworkError::BackwardGoto { from: table, to });
+            }
+        }
+        let tables = self
+            .tables
+            .get_mut(switch.0)
+            .ok_or(NetworkError::UnknownSwitch(switch))?;
+        let tab = tables
+            .get_mut(table.0)
+            .ok_or(NetworkError::UnknownTable(switch, table))?;
+        let id = EntryId(self.next_entry);
+        self.next_entry += 1;
+        tab.insert(id, entry);
+        self.locations.insert(id, EntryLocation { switch, table });
+        Ok(id)
+    }
+
+    /// Removes an entry (and any fault attached to it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownEntry`] if not installed.
+    pub fn remove(&mut self, id: EntryId) -> Result<FlowEntry, NetworkError> {
+        let loc = self
+            .locations
+            .remove(&id)
+            .ok_or(NetworkError::UnknownEntry(id))?;
+        self.faults.remove(&id);
+        Ok(self.tables[loc.switch.0][loc.table.0]
+            .remove(id)
+            .expect("location map and table agree"))
+    }
+
+    /// Looks up an installed entry.
+    pub fn entry(&self, id: EntryId) -> Option<&FlowEntry> {
+        let loc = self.locations.get(&id)?;
+        self.tables[loc.switch.0][loc.table.0].get(id)
+    }
+
+    /// Where an entry is installed.
+    pub fn location(&self, id: EntryId) -> Option<EntryLocation> {
+        self.locations.get(&id).copied()
+    }
+
+    /// All installed entry ids on a switch, in table order.
+    pub fn entries_on(&self, switch: SwitchId) -> Vec<EntryId> {
+        self.tables
+            .get(switch.0)
+            .map(|ts| ts.iter().flat_map(|t| t.iter().map(|(id, _)| id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of installed entries.
+    pub fn entry_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Replaces an installed entry in place (keeps its id and location).
+    ///
+    /// Used by the Fig. 7 test-entry procedure, which rewrites a terminal
+    /// entry's action to `goto next table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the entry is unknown or the new action is a
+    /// backward `GotoTable`.
+    pub fn replace_entry(&mut self, id: EntryId, entry: FlowEntry) -> Result<(), NetworkError> {
+        let loc = *self
+            .locations
+            .get(&id)
+            .ok_or(NetworkError::UnknownEntry(id))?;
+        if let Action::GotoTable(to) = entry.action() {
+            if to.0 <= loc.table.0 {
+                return Err(NetworkError::BackwardGoto {
+                    from: loc.table,
+                    to,
+                });
+            }
+        }
+        self.tables[loc.switch.0][loc.table.0]
+            .replace(id, entry)
+            .expect("location map and table agree");
+        Ok(())
+    }
+
+    /// Attaches a fault to an installed entry (replacing any previous
+    /// fault on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownEntry`] if not installed.
+    pub fn inject_fault(&mut self, id: EntryId, fault: FaultSpec) -> Result<(), NetworkError> {
+        if !self.locations.contains_key(&id) {
+            return Err(NetworkError::UnknownEntry(id));
+        }
+        self.faults.insert(id, fault);
+        Ok(())
+    }
+
+    /// Removes the fault on an entry, if any.
+    pub fn clear_fault(&mut self, id: EntryId) -> Option<FaultSpec> {
+        self.faults.remove(&id)
+    }
+
+    /// Removes every injected fault.
+    pub fn clear_all_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// The fault attached to an entry, if any.
+    pub fn fault(&self, id: EntryId) -> Option<&FaultSpec> {
+        self.faults.get(&id)
+    }
+
+    /// Ids of entries with injected faults.
+    pub fn faulty_entries(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.faults.keys().copied()
+    }
+
+    /// Switches hosting at least one faulty entry (ground truth for
+    /// FPR/FNR metrics).
+    pub fn faulty_switches(&self) -> Vec<SwitchId> {
+        let mut out: Vec<SwitchId> = self
+            .faults
+            .keys()
+            .filter_map(|id| self.locations.get(id).map(|l| l.switch))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Injects a packet at a switch and simulates pipeline processing
+    /// until a terminal outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn inject(&self, at: SwitchId, header: Header) -> ForwardingTrace {
+        assert!(
+            at.0 < self.topology.switch_count(),
+            "switch {at} out of range"
+        );
+        let mut steps = Vec::new();
+        let mut switch = at;
+        let mut table = TableId(0);
+        let mut header = header;
+        // Generous hop budget: every (switch, table) pair once, plus
+        // slack for detours/misdirects.
+        let budget = 4 * self.tables.iter().map(Vec::len).sum::<usize>().max(4);
+        for _ in 0..budget {
+            let Some((id, entry)) = self.tables[switch.0][table.0].lookup(header) else {
+                return ForwardingTrace {
+                    steps,
+                    outcome: Outcome::NoMatch { switch },
+                    final_header: header,
+                };
+            };
+            let entry = *entry;
+            steps.push(TraceStep {
+                switch,
+                table,
+                entry: id,
+                header,
+            });
+            // Faulty execution pre-empts or perturbs the normal action.
+            if let Some(fault) = self.faults.get(&id) {
+                if fault.is_active(self.now_ns, header) {
+                    match fault.kind() {
+                        FaultKind::Drop => {
+                            return ForwardingTrace {
+                                steps,
+                                outcome: Outcome::Dropped { switch },
+                                final_header: header,
+                            };
+                        }
+                        FaultKind::Modify(bad_set) => {
+                            // Malicious rewrite, then the normal action.
+                            header = Header::new(
+                                (header.bits() & !bad_set.care_mask()) | bad_set.value_bits(),
+                                header.len(),
+                            );
+                        }
+                        FaultKind::Misdirect(port) => {
+                            header = apply_set(header, &entry);
+                            match self.topology.peer_of(switch, port) {
+                                Some(peer) => {
+                                    switch = peer;
+                                    table = TableId(0);
+                                    continue;
+                                }
+                                None => {
+                                    return ForwardingTrace {
+                                        steps,
+                                        outcome: Outcome::LeftNetwork { switch, port },
+                                        final_header: header,
+                                    };
+                                }
+                            }
+                        }
+                        FaultKind::Detour { partner } => {
+                            // Out-of-band tunnel: the packet reappears at
+                            // the partner and resumes normal processing.
+                            if partner.0 < self.topology.switch_count() {
+                                switch = partner;
+                                table = TableId(0);
+                                continue;
+                            }
+                            return ForwardingTrace {
+                                steps,
+                                outcome: Outcome::Dropped { switch },
+                                final_header: header,
+                            };
+                        }
+                    }
+                }
+            }
+            header = apply_set(header, &entry);
+            match entry.action() {
+                Action::Drop => {
+                    return ForwardingTrace {
+                        steps,
+                        outcome: Outcome::Dropped { switch },
+                        final_header: header,
+                    };
+                }
+                Action::ToController => {
+                    return ForwardingTrace {
+                        steps,
+                        outcome: Outcome::PacketIn { switch },
+                        final_header: header,
+                    };
+                }
+                Action::GotoTable(next) => {
+                    table = next;
+                }
+                Action::Output(port) => match self.topology.peer_of(switch, port) {
+                    Some(peer) => {
+                        switch = peer;
+                        table = TableId(0);
+                    }
+                    None => {
+                        return ForwardingTrace {
+                            steps,
+                            outcome: Outcome::LeftNetwork { switch, port },
+                            final_header: header,
+                        };
+                    }
+                },
+            }
+        }
+        ForwardingTrace {
+            steps,
+            outcome: Outcome::TtlExceeded,
+            final_header: header,
+        }
+    }
+}
+
+fn apply_set(header: Header, entry: &FlowEntry) -> Header {
+    let s = entry.set_field();
+    Header::new(
+        (header.bits() & !s.care_mask()) | s.value_bits(),
+        header.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Activation;
+    use sdnprobe_headerspace::Ternary;
+
+    fn t(s: &str) -> Ternary {
+        s.parse().expect("valid ternary")
+    }
+
+    /// Line of three switches with a wildcard route 0 -> 1 -> 2 and a
+    /// packet-in at switch 2.
+    fn line3() -> (Network, Vec<EntryId>) {
+        let mut topo = Topology::new(3);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        topo.add_link(SwitchId(1), SwitchId(2));
+        let mut net = Network::new(topo);
+        let mut ids = Vec::new();
+        for (s, next) in [(0, 1), (1, 2)] {
+            let port = net
+                .topology()
+                .port_towards(SwitchId(s), SwitchId(next))
+                .unwrap();
+            ids.push(
+                net.install(
+                    SwitchId(s),
+                    TableId(0),
+                    FlowEntry::new(t("xxxxxxxx"), Action::Output(port)),
+                )
+                .unwrap(),
+            );
+        }
+        ids.push(
+            net.install(
+                SwitchId(2),
+                TableId(0),
+                FlowEntry::new(t("xxxxxxxx"), Action::ToController),
+            )
+            .unwrap(),
+        );
+        (net, ids)
+    }
+
+    #[test]
+    fn forwards_along_route_to_controller() {
+        let (net, ids) = line3();
+        let trace = net.inject(SwitchId(0), Header::new(0x0F, 8));
+        assert_eq!(trace.observation(), Some((SwitchId(2), Header::new(0x0F, 8))));
+        assert_eq!(trace.entries_matched(), ids);
+        assert_eq!(
+            trace.switches_visited(),
+            vec![SwitchId(0), SwitchId(1), SwitchId(2)]
+        );
+    }
+
+    #[test]
+    fn no_match_is_dropped_silently() {
+        let mut topo = Topology::new(1);
+        let _ = &mut topo;
+        let net = Network::new(topo);
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        assert_eq!(trace.outcome, Outcome::NoMatch { switch: SwitchId(0) });
+        assert!(trace.observation().is_none());
+    }
+
+    #[test]
+    fn priority_shadowing_in_pipeline() {
+        let (mut net, _) = line3();
+        // Higher-priority drop for 0000xxxx at switch 1.
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("0000xxxx"), Action::Drop).with_priority(10),
+        )
+        .unwrap();
+        let dropped = net.inject(SwitchId(0), Header::new(0x00, 8));
+        assert_eq!(dropped.outcome, Outcome::Dropped { switch: SwitchId(1) });
+        let through = net.inject(SwitchId(0), Header::new(0x0F, 8));
+        assert!(through.observation().is_some());
+    }
+
+    #[test]
+    fn set_field_rewrites_and_affects_downstream_match() {
+        let (mut net, ids) = line3();
+        // Rewrite at switch 0 to 1111xxxx.
+        let e0 = net.entry(ids[0]).copied().unwrap();
+        net.replace_entry(ids[0], e0.with_set_field(t("1111xxxx")))
+            .unwrap();
+        // Switch 1 drops 1111xxxx with high priority.
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("1111xxxx"), Action::Drop).with_priority(9),
+        )
+        .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0x00, 8));
+        assert_eq!(trace.outcome, Outcome::Dropped { switch: SwitchId(1) });
+        assert_eq!(trace.final_header, Header::new(0x0F, 8));
+    }
+
+    #[test]
+    fn goto_table_pipeline() {
+        let (mut net, ids) = line3();
+        let t1 = net.add_table(SwitchId(2)).unwrap();
+        // Move switch 2's punt into table 1 behind a goto.
+        let punt = net.remove(ids[2]).unwrap();
+        net.install(
+            SwitchId(2),
+            TableId(0),
+            FlowEntry::new(t("xxxxxxxx"), Action::GotoTable(t1)),
+        )
+        .unwrap();
+        net.install(SwitchId(2), t1, punt).unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(1, 8));
+        assert_eq!(trace.observation().map(|(s, _)| s), Some(SwitchId(2)));
+        assert_eq!(trace.steps.len(), 4);
+    }
+
+    #[test]
+    fn backward_goto_rejected() {
+        let (mut net, ids) = line3();
+        let err = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new(t("xxxxxxxx"), Action::GotoTable(TableId(0))),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::BackwardGoto { .. }));
+        let e0 = *net.entry(ids[0]).unwrap();
+        assert!(net
+            .replace_entry(ids[0], e0.with_action(Action::GotoTable(TableId(0))))
+            .is_err());
+    }
+
+    #[test]
+    fn unconnected_port_leaves_network() {
+        let (mut net, ids) = line3();
+        let e0 = *net.entry(ids[0]).unwrap();
+        net.replace_entry(ids[0], e0.with_action(Action::Output(PortId(42))))
+            .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        assert_eq!(
+            trace.outcome,
+            Outcome::LeftNetwork {
+                switch: SwitchId(0),
+                port: PortId(42)
+            }
+        );
+    }
+
+    #[test]
+    fn forwarding_loop_hits_ttl() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        for s in [0usize, 1] {
+            let port = net
+                .topology()
+                .port_towards(SwitchId(s), SwitchId(1 - s))
+                .unwrap();
+            net.install(
+                SwitchId(s),
+                TableId(0),
+                FlowEntry::new(t("xxxxxxxx"), Action::Output(port)),
+            )
+            .unwrap();
+        }
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        assert_eq!(trace.outcome, Outcome::TtlExceeded);
+    }
+
+    #[test]
+    fn drop_fault_kills_packet() {
+        let (mut net, ids) = line3();
+        net.inject_fault(ids[1], FaultSpec::new(FaultKind::Drop))
+            .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        assert_eq!(trace.outcome, Outcome::Dropped { switch: SwitchId(1) });
+        assert_eq!(net.faulty_switches(), vec![SwitchId(1)]);
+    }
+
+    #[test]
+    fn modify_fault_changes_received_header() {
+        let (mut net, ids) = line3();
+        net.inject_fault(ids[1], FaultSpec::new(FaultKind::Modify(t("11xxxxxx"))))
+            .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        let (sw, h) = trace.observation().expect("still delivered");
+        assert_eq!(sw, SwitchId(2));
+        assert_eq!(h, Header::new(0b0000_0011, 8));
+    }
+
+    #[test]
+    fn misdirect_fault_reroutes() {
+        let (mut net, ids) = line3();
+        // Switch 1 misdirects back toward switch 0.
+        let back = net
+            .topology()
+            .port_towards(SwitchId(1), SwitchId(0))
+            .unwrap();
+        net.inject_fault(ids[1], FaultSpec::new(FaultKind::Misdirect(back)))
+            .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        // Packet bounces 0 -> 1 -> 0 -> 1 ... until TTL.
+        assert_eq!(trace.outcome, Outcome::TtlExceeded);
+    }
+
+    #[test]
+    fn detour_rejoining_path_is_invisible() {
+        let (mut net, ids) = line3();
+        // Switch 0 colludes with switch 2 (downstream): tunnel past 1.
+        net.inject_fault(
+            ids[0],
+            FaultSpec::new(FaultKind::Detour {
+                partner: SwitchId(2),
+            }),
+        )
+        .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        // Controller still sees the expected packet-in: evasion works.
+        assert_eq!(trace.observation(), Some((SwitchId(2), Header::new(0, 8))));
+        // But switch 1 was never traversed.
+        assert!(!trace.switches_visited().contains(&SwitchId(1)));
+    }
+
+    #[test]
+    fn detour_to_off_path_switch_strands_packet() {
+        let mut topo = Topology::new(4);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        topo.add_link(SwitchId(1), SwitchId(2));
+        topo.add_link(SwitchId(3), SwitchId(2)); // island switch 3
+        let mut net = Network::new(topo);
+        let p01 = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p12 = net.topology().port_towards(SwitchId(1), SwitchId(2)).unwrap();
+        let id0 = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new(t("xxxxxxxx"), Action::Output(p01)),
+            )
+            .unwrap();
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("xxxxxxxx"), Action::Output(p12)),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(2),
+            TableId(0),
+            FlowEntry::new(t("xxxxxxxx"), Action::ToController),
+        )
+        .unwrap();
+        // Switch 3 has no entries: detour partner strands the packet.
+        net.inject_fault(
+            id0,
+            FaultSpec::new(FaultKind::Detour {
+                partner: SwitchId(3),
+            }),
+        )
+        .unwrap();
+        let trace = net.inject(SwitchId(0), Header::new(0, 8));
+        assert_eq!(trace.outcome, Outcome::NoMatch { switch: SwitchId(3) });
+    }
+
+    #[test]
+    fn intermittent_fault_follows_clock() {
+        let (mut net, ids) = line3();
+        net.inject_fault(
+            ids[1],
+            FaultSpec::new(FaultKind::Drop).with_activation(Activation::Intermittent {
+                period_ns: 1_000,
+                active_ns: 500,
+            }),
+        )
+        .unwrap();
+        // t=0: active.
+        assert!(net.inject(SwitchId(0), Header::new(0, 8)).observation().is_none());
+        net.advance_ns(600);
+        // t=600: inactive.
+        assert!(net.inject(SwitchId(0), Header::new(0, 8)).observation().is_some());
+        net.advance_ns(500);
+        // t=1100: active again.
+        assert!(net.inject(SwitchId(0), Header::new(0, 8)).observation().is_none());
+    }
+
+    #[test]
+    fn targeting_fault_hits_only_victims() {
+        let (mut net, ids) = line3();
+        net.inject_fault(
+            ids[1],
+            FaultSpec::new(FaultKind::Drop)
+                .with_activation(Activation::Targeting(t("00000000"))),
+        )
+        .unwrap();
+        assert!(net.inject(SwitchId(0), Header::new(0, 8)).observation().is_none());
+        assert!(net.inject(SwitchId(0), Header::new(1, 8)).observation().is_some());
+    }
+
+    #[test]
+    fn remove_clears_fault_and_entry() {
+        let (mut net, ids) = line3();
+        net.inject_fault(ids[0], FaultSpec::new(FaultKind::Drop))
+            .unwrap();
+        net.remove(ids[0]).unwrap();
+        assert!(net.entry(ids[0]).is_none());
+        assert!(net.fault(ids[0]).is_none());
+        assert!(net.remove(ids[0]).is_err());
+        assert_eq!(net.entry_count(), 2);
+    }
+
+    #[test]
+    fn inject_fault_unknown_entry_errors() {
+        let (mut net, _) = line3();
+        assert!(matches!(
+            net.inject_fault(EntryId(999), FaultSpec::new(FaultKind::Drop)),
+            Err(NetworkError::UnknownEntry(_))
+        ));
+    }
+
+    #[test]
+    fn entries_on_lists_all_tables() {
+        let (mut net, _) = line3();
+        let t1 = net.add_table(SwitchId(0)).unwrap();
+        net.install(
+            SwitchId(0),
+            t1,
+            FlowEntry::new(t("xxxxxxxx"), Action::Drop),
+        )
+        .unwrap();
+        assert_eq!(net.entries_on(SwitchId(0)).len(), 2);
+        assert_eq!(net.table_count(SwitchId(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NetworkError::UnknownSwitch(SwitchId(5));
+        assert_eq!(e.to_string(), "unknown switch s5");
+        let e = NetworkError::BackwardGoto {
+            from: TableId(1),
+            to: TableId(0),
+        };
+        assert!(e.to_string().contains("forward"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Flow tables and priority-based lookup.
+
+use serde::{Deserialize, Serialize};
+use sdnprobe_headerspace::Header;
+
+use crate::flow::{EntryId, FlowEntry};
+
+/// A single OpenFlow-style flow table: a priority-ordered list of
+/// entries.
+///
+/// Lookup returns the highest-priority matching entry; ties are broken by
+/// installation order (earlier wins), matching common switch behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTable {
+    /// Sorted by (priority desc, id asc).
+    entries: Vec<(EntryId, FlowEntry)>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, entry)` in match-precedence order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &FlowEntry)> {
+        self.entries.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Inserts an entry under the given id, keeping precedence order.
+    pub(crate) fn insert(&mut self, id: EntryId, entry: FlowEntry) {
+        let pos = self
+            .entries
+            .partition_point(|(eid, e)| (e.priority() > entry.priority())
+                || (e.priority() == entry.priority() && *eid < id));
+        self.entries.insert(pos, (id, entry));
+    }
+
+    /// Removes an entry by id; returns it if present.
+    pub(crate) fn remove(&mut self, id: EntryId) -> Option<FlowEntry> {
+        let pos = self.entries.iter().position(|(eid, _)| *eid == id)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: EntryId) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .find(|(eid, _)| *eid == id)
+            .map(|(_, e)| e)
+    }
+
+    /// Replaces an entry in place (same id, same precedence slot rules).
+    pub(crate) fn replace(&mut self, id: EntryId, entry: FlowEntry) -> Option<FlowEntry> {
+        let old = self.remove(id)?;
+        self.insert(id, entry);
+        Some(old)
+    }
+
+    /// The highest-priority entry matching `header`, if any.
+    pub fn lookup(&self, header: Header) -> Option<(EntryId, &FlowEntry)> {
+        self.entries
+            .iter()
+            .find(|(_, e)| e.match_field().matches(header))
+            .map(|(id, e)| (*id, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Action;
+    use sdnprobe_headerspace::Ternary;
+    use sdnprobe_topology::PortId;
+
+    fn t(s: &str) -> Ternary {
+        s.parse().expect("valid ternary")
+    }
+
+    fn entry(m: &str, prio: u16, port: u32) -> FlowEntry {
+        FlowEntry::new(t(m), Action::Output(PortId(port))).with_priority(prio)
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(0), entry("001xxxxx", 1, 0));
+        tab.insert(EntryId(1), entry("00100xxx", 5, 1));
+        // 00100000 matches both; priority 5 must win.
+        let h = Header::new(0b0000_0100, 8);
+        let (id, _) = tab.lookup(h).expect("match");
+        assert_eq!(id, EntryId(1));
+        // 00101000 only matches the low-priority one.
+        let h2 = Header::new(0b0001_0100, 8);
+        assert_eq!(tab.lookup(h2).map(|(id, _)| id), Some(EntryId(0)));
+    }
+
+    #[test]
+    fn tie_break_by_installation_order() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(3), entry("0xxxxxxx", 2, 0));
+        tab.insert(EntryId(7), entry("0xxxxxxx", 2, 1));
+        let (id, _) = tab.lookup(Header::new(0, 8)).expect("match");
+        assert_eq!(id, EntryId(3));
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(0), entry("1xxxxxxx", 0, 0));
+        assert!(tab.lookup(Header::new(0, 8)).is_none());
+        assert!(FlowTable::new().lookup(Header::new(0, 8)).is_none());
+    }
+
+    #[test]
+    fn remove_and_get() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(0), entry("0xxxxxxx", 0, 0));
+        tab.insert(EntryId(1), entry("1xxxxxxx", 0, 1));
+        assert!(tab.get(EntryId(1)).is_some());
+        assert!(tab.remove(EntryId(1)).is_some());
+        assert!(tab.get(EntryId(1)).is_none());
+        assert!(tab.remove(EntryId(1)).is_none());
+        assert_eq!(tab.len(), 1);
+    }
+
+    #[test]
+    fn replace_keeps_id_and_new_priority() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(0), entry("xxxxxxxx", 1, 0));
+        tab.insert(EntryId(1), entry("xxxxxxxx", 3, 1));
+        tab.replace(EntryId(0), entry("xxxxxxxx", 9, 2));
+        let (id, e) = tab.lookup(Header::new(0, 8)).expect("match");
+        assert_eq!(id, EntryId(0));
+        assert_eq!(e.priority(), 9);
+    }
+
+    #[test]
+    fn iter_in_precedence_order() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(0), entry("xxxxxxxx", 1, 0));
+        tab.insert(EntryId(1), entry("xxxxxxxx", 5, 1));
+        tab.insert(EntryId(2), entry("xxxxxxxx", 3, 2));
+        let prios: Vec<u16> = tab.iter().map(|(_, e)| e.priority()).collect();
+        assert_eq!(prios, vec![5, 3, 1]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the data-plane pipeline: lookup semantics against
+//! a naive model, trace well-formedness, and fault transparency.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdnprobe_dataplane::{Action, FlowEntry, Network, Outcome, TableId};
+use sdnprobe_headerspace::{Header, Ternary};
+use sdnprobe_topology::{PortId, SwitchId, Topology};
+
+fn random_network(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 5;
+    let mut topo = Topology::new(n);
+    for i in 1..n {
+        topo.add_link(SwitchId(rng.gen_range(0..i)), SwitchId(i));
+    }
+    let mut net = Network::new(topo);
+    for _ in 0..14 {
+        let s = SwitchId(rng.gen_range(0..n));
+        let m = Ternary::prefix(rng.gen::<u8>() as u128, rng.gen_range(0..=6), 8);
+        let ports = net.topology().port_count(s);
+        let action = match rng.gen_range(0..5) {
+            0 => Action::Drop,
+            1 => Action::ToController,
+            _ if ports > 0 && rng.gen_bool(0.8) => {
+                // Forward-only keeps most policies loop-free, but loops
+                // are fine here: inject() bounds them with a TTL.
+                let nb = net.topology().neighbors(s)[rng.gen_range(0..ports as usize)];
+                Action::Output(nb.port)
+            }
+            _ => Action::Output(PortId(40)),
+        };
+        let mut e = FlowEntry::new(m, action).with_priority(rng.gen_range(0..4));
+        if rng.gen_bool(0.25) {
+            e = e.with_set_field(Ternary::prefix(rng.gen::<u8>() as u128, rng.gen_range(0..3), 8));
+        }
+        let _ = net.install(s, TableId(0), e);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Table lookup returns the highest-priority matching entry with the
+    /// lowest id (naive scan model).
+    #[test]
+    fn lookup_is_max_priority_min_id(seed in 0u64..3_000, bits in any::<u8>()) {
+        let net = random_network(seed);
+        let h = Header::new(bits as u128, 8);
+        for s in net.topology().switches() {
+            let table = net.flow_table(s, TableId(0)).expect("table 0 exists");
+            let naive = table
+                .iter()
+                .filter(|(_, e)| e.match_field().matches(h))
+                .max_by(|(ida, ea), (idb, eb)| {
+                    ea.priority()
+                        .cmp(&eb.priority())
+                        .then(idb.cmp(ida)) // lower id wins ties
+                })
+                .map(|(id, _)| id);
+            prop_assert_eq!(table.lookup(h).map(|(id, _)| id), naive);
+        }
+    }
+
+    /// Every trace is well-formed: consecutive hops are adjacent (or a
+    /// table hop on the same switch), and the outcome's switch is the
+    /// last step's switch when steps exist.
+    #[test]
+    fn traces_are_well_formed(seed in 0u64..3_000, bits in any::<u8>(), at in 0usize..5) {
+        let net = random_network(seed);
+        let trace = net.inject(SwitchId(at), Header::new(bits as u128, 8));
+        for w in trace.steps.windows(2) {
+            let same_switch = w[0].switch == w[1].switch;
+            let adjacent = net.topology().has_link(w[0].switch, w[1].switch);
+            prop_assert!(same_switch || adjacent, "hop {} -> {}", w[0].switch, w[1].switch);
+        }
+        if let Some(last) = trace.steps.last() {
+            match trace.outcome {
+                Outcome::PacketIn { switch }
+                | Outcome::Dropped { switch }
+                | Outcome::LeftNetwork { switch, .. } => {
+                    prop_assert_eq!(switch, last.switch);
+                }
+                // NoMatch happens on the switch *after* the last match.
+                Outcome::NoMatch { switch } => {
+                    prop_assert!(
+                        switch == last.switch || net.topology().has_link(last.switch, switch)
+                    );
+                }
+                Outcome::TtlExceeded => {}
+            }
+        }
+        // Observation is Some iff the packet reached the controller.
+        prop_assert_eq!(
+            trace.observation().is_some(),
+            matches!(trace.outcome, Outcome::PacketIn { .. })
+        );
+    }
+
+    /// Determinism: the same injection twice yields the same trace
+    /// (no hidden randomness in forwarding).
+    #[test]
+    fn forwarding_is_deterministic(seed in 0u64..2_000, bits in any::<u8>()) {
+        let net = random_network(seed);
+        let a = net.inject(SwitchId(0), Header::new(bits as u128, 8));
+        let b = net.inject(SwitchId(0), Header::new(bits as u128, 8));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Removing an injected fault restores the original behaviour
+    /// bit for bit.
+    #[test]
+    fn clearing_faults_restores_behaviour(seed in 0u64..1_500, bits in any::<u8>()) {
+        use sdnprobe_dataplane::{FaultKind, FaultSpec};
+        let mut net = random_network(seed);
+        let h = Header::new(bits as u128, 8);
+        let before = net.inject(SwitchId(0), h);
+        let entries = net.entries_on(SwitchId(0));
+        if let Some(&victim) = entries.first() {
+            net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+            net.clear_fault(victim);
+            let after = net.inject(SwitchId(0), h);
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for header-space operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing header-space values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeaderSpaceError {
+    /// A ternary/header string had an unsupported length.
+    BadLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// A ternary string contained a character other than `0`, `1`, `x`.
+    BadCharacter {
+        /// The offending character.
+        character: char,
+        /// Its position in the string.
+        position: usize,
+    },
+    /// A header layout declared the same field twice (or a zero-width
+    /// field).
+    DuplicateField {
+        /// The offending field name.
+        name: String,
+    },
+    /// A header layout operation referenced an undeclared field.
+    UnknownField {
+        /// The missing field name.
+        name: String,
+    },
+}
+
+impl fmt::Display for HeaderSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadLength { len } => {
+                write!(f, "header length {len} not in 1..=128")
+            }
+            Self::BadCharacter {
+                character,
+                position,
+            } => write!(
+                f,
+                "invalid ternary character {character:?} at position {position}"
+            ),
+            Self::DuplicateField { name } => {
+                write!(f, "layout field {name:?} is duplicated or zero-width")
+            }
+            Self::UnknownField { name } => write!(f, "unknown layout field {name:?}"),
+        }
+    }
+}
+
+impl Error for HeaderSpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HeaderSpaceError::BadLength { len: 0 };
+        assert_eq!(e.to_string(), "header length 0 not in 1..=128");
+        let e = HeaderSpaceError::BadCharacter {
+            character: 'q',
+            position: 3,
+        };
+        assert!(e.to_string().contains("'q'"));
+        let e = HeaderSpaceError::DuplicateField { name: "a".into() };
+        assert!(e.to_string().contains("duplicated"));
+        let e = HeaderSpaceError::UnknownField { name: "b".into() };
+        assert!(e.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HeaderSpaceError>();
+    }
+}

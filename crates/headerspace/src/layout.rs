@@ -1,0 +1,282 @@
+//! Named-field header layouts.
+//!
+//! The paper treats the packet header as an opaque bitstream in
+//! `{0,1,x}^L`; real deployments carve that stream into fields
+//! (src/dst addresses, ports, protocol). A [`HeaderLayout`] maps field
+//! names onto bit ranges so match fields, set fields, and probe headers
+//! can be built per field and still compose into the flat ternary
+//! algebra the rest of the system runs on.
+
+use std::ops::Range;
+
+use crate::error::HeaderSpaceError;
+use crate::header::Header;
+use crate::ternary::{Ternary, MAX_BITS};
+
+/// A packet-header layout: an ordered list of named fields packed into
+/// one `{0,1,x}^L` bitstream (field 0 starts at bit 0).
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_headerspace::{Header, HeaderLayout};
+///
+/// let layout = HeaderLayout::builder()
+///     .field("dst_ip", 32)
+///     .field("src_ip", 32)
+///     .field("proto", 8)
+///     .build()?;
+/// assert_eq!(layout.bits(), 72);
+///
+/// // Match every TCP packet toward 10.0.0.0/8 (dst prefix of 8 bits).
+/// let m = layout
+///     .prefix("dst_ip", 10, 8)?
+///     .intersect(&layout.exact("proto", 6)?)
+///     .unwrap();
+/// let h = layout.compose(&[("dst_ip", 10), ("proto", 6)])?;
+/// assert!(m.matches(h));
+/// assert_eq!(layout.extract("proto", h)?, 6);
+/// # Ok::<(), sdnprobe_headerspace::HeaderSpaceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderLayout {
+    fields: Vec<(String, Range<u32>)>,
+    bits: u32,
+}
+
+/// Incremental builder for [`HeaderLayout`].
+#[derive(Debug, Clone, Default)]
+pub struct HeaderLayoutBuilder {
+    fields: Vec<(String, u32)>,
+}
+
+impl HeaderLayoutBuilder {
+    /// Appends a field of `width` bits.
+    #[must_use]
+    pub fn field(mut self, name: &str, width: u32) -> Self {
+        self.fields.push((name.to_string(), width));
+        self
+    }
+
+    /// Finalizes the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeaderSpaceError::BadLength`] when the total width is
+    /// zero or exceeds 128 bits, and
+    /// [`HeaderSpaceError::DuplicateField`] on repeated field names or
+    /// zero-width fields.
+    pub fn build(self) -> Result<HeaderLayout, HeaderSpaceError> {
+        let mut fields = Vec::with_capacity(self.fields.len());
+        let mut offset = 0u32;
+        for (name, width) in self.fields {
+            if width == 0 || fields.iter().any(|(n, _): &(String, Range<u32>)| *n == name) {
+                return Err(HeaderSpaceError::DuplicateField { name });
+            }
+            fields.push((name, offset..offset + width));
+            offset += width;
+        }
+        if offset == 0 || offset > MAX_BITS {
+            return Err(HeaderSpaceError::BadLength {
+                len: offset as usize,
+            });
+        }
+        Ok(HeaderLayout {
+            fields,
+            bits: offset,
+        })
+    }
+}
+
+impl HeaderLayout {
+    /// Starts building a layout.
+    pub fn builder() -> HeaderLayoutBuilder {
+        HeaderLayoutBuilder::default()
+    }
+
+    /// Total header width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Field names in layout order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The bit range of a field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeaderSpaceError::UnknownField`] for an unknown name.
+    pub fn range(&self, field: &str) -> Result<Range<u32>, HeaderSpaceError> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, r)| r.clone())
+            .ok_or_else(|| HeaderSpaceError::UnknownField {
+                name: field.to_string(),
+            })
+    }
+
+    /// A ternary fixing the whole field to `value` (other fields
+    /// wildcard).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown fields.
+    pub fn exact(&self, field: &str, value: u128) -> Result<Ternary, HeaderSpaceError> {
+        let r = self.range(field)?;
+        self.prefix(field, value, r.end - r.start)
+    }
+
+    /// A ternary fixing the first `prefix_len` bits of the field to
+    /// `value` (a per-field destination prefix; the rest wildcard).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown fields or prefixes wider than the
+    /// field.
+    pub fn prefix(
+        &self,
+        field: &str,
+        value: u128,
+        prefix_len: u32,
+    ) -> Result<Ternary, HeaderSpaceError> {
+        let r = self.range(field)?;
+        if prefix_len > r.end - r.start {
+            return Err(HeaderSpaceError::BadLength {
+                len: prefix_len as usize,
+            });
+        }
+        let local = Ternary::prefix(value, prefix_len, r.end - r.start);
+        Ok(Ternary::from_masks(
+            local.care_mask() << r.start,
+            local.value_bits() << r.start,
+            self.bits,
+        ))
+    }
+
+    /// Composes a concrete header from `(field, value)` pairs; omitted
+    /// fields are zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown fields.
+    pub fn compose(&self, values: &[(&str, u128)]) -> Result<Header, HeaderSpaceError> {
+        let mut bits = 0u128;
+        for (field, value) in values {
+            let r = self.range(field)?;
+            let width = r.end - r.start;
+            let mask = if width as usize == 128 {
+                u128::MAX
+            } else {
+                (1u128 << width) - 1
+            };
+            bits |= (value & mask) << r.start;
+        }
+        Ok(Header::new(bits, self.bits))
+    }
+
+    /// Extracts a field's value from a concrete header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown fields.
+    pub fn extract(&self, field: &str, header: Header) -> Result<u128, HeaderSpaceError> {
+        let r = self.range(field)?;
+        let width = r.end - r.start;
+        let mask = if width as usize == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        Ok((header.bits() >> r.start) & mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l() -> HeaderLayout {
+        HeaderLayout::builder()
+            .field("dst", 16)
+            .field("src", 16)
+            .field("proto", 8)
+            .build()
+            .expect("valid layout")
+    }
+
+    #[test]
+    fn ranges_pack_in_order() {
+        let layout = l();
+        assert_eq!(layout.bits(), 40);
+        assert_eq!(layout.range("dst").unwrap(), 0..16);
+        assert_eq!(layout.range("src").unwrap(), 16..32);
+        assert_eq!(layout.range("proto").unwrap(), 32..40);
+        assert_eq!(layout.field_names().count(), 3);
+    }
+
+    #[test]
+    fn compose_extract_round_trip() {
+        let layout = l();
+        let h = layout
+            .compose(&[("dst", 0xBEEF), ("src", 0x1234), ("proto", 17)])
+            .unwrap();
+        assert_eq!(layout.extract("dst", h).unwrap(), 0xBEEF);
+        assert_eq!(layout.extract("src", h).unwrap(), 0x1234);
+        assert_eq!(layout.extract("proto", h).unwrap(), 17);
+    }
+
+    #[test]
+    fn field_patterns_compose_into_global_ternary() {
+        let layout = l();
+        let m = layout
+            .prefix("dst", 0xBE, 8)
+            .unwrap()
+            .intersect(&layout.exact("proto", 6).unwrap())
+            .unwrap();
+        let matching = layout
+            .compose(&[("dst", 0x12BE), ("src", 7), ("proto", 6)])
+            .unwrap();
+        let wrong_proto = layout
+            .compose(&[("dst", 0x12BE), ("proto", 17)])
+            .unwrap();
+        assert!(m.matches(matching));
+        assert!(!m.matches(wrong_proto));
+    }
+
+    #[test]
+    fn values_are_masked_to_field_width() {
+        let layout = l();
+        let h = layout.compose(&[("proto", 0xFFFF)]).unwrap();
+        assert_eq!(layout.extract("proto", h).unwrap(), 0xFF);
+        assert_eq!(layout.extract("dst", h).unwrap(), 0, "no bleed into dst");
+    }
+
+    #[test]
+    fn builder_rejects_bad_layouts() {
+        assert!(HeaderLayout::builder().build().is_err());
+        assert!(HeaderLayout::builder().field("a", 0).build().is_err());
+        assert!(HeaderLayout::builder()
+            .field("a", 8)
+            .field("a", 8)
+            .build()
+            .is_err());
+        assert!(HeaderLayout::builder().field("a", 200).build().is_err());
+    }
+
+    #[test]
+    fn unknown_field_errors() {
+        let layout = l();
+        assert!(layout.range("nope").is_err());
+        assert!(layout.exact("nope", 1).is_err());
+        assert!(layout.extract("nope", Header::new(0, 40)).is_err());
+    }
+
+    #[test]
+    fn prefix_wider_than_field_errors() {
+        assert!(l().prefix("proto", 0, 9).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the header-space algebra.
+//!
+//! These check the algebraic laws the SDNProbe pipeline relies on:
+//! soundness of subtraction/intersection against brute-force semantics,
+//! set-field transform correctness, and witness-solver soundness and
+//! completeness — all over randomly generated small header spaces where
+//! exhaustive checking is feasible.
+
+use proptest::prelude::*;
+use sdnprobe_headerspace::solver::WitnessQuery;
+use sdnprobe_headerspace::{Header, HeaderSet, Ternary};
+
+const LEN: u32 = 8;
+
+fn arb_ternary() -> impl Strategy<Value = Ternary> {
+    (any::<u8>(), any::<u8>())
+        .prop_map(|(care, value)| Ternary::from_masks(care as u128, value as u128, LEN))
+}
+
+fn arb_set(max_terms: usize) -> impl Strategy<Value = HeaderSet> {
+    prop::collection::vec(arb_ternary(), 1..=max_terms).prop_map(HeaderSet::from_union)
+}
+
+fn all_headers() -> impl Iterator<Item = Header> {
+    (0u128..256).map(|b| Header::new(b, LEN))
+}
+
+proptest! {
+    #[test]
+    fn intersect_is_semantic_and(a in arb_ternary(), b in arb_ternary()) {
+        for h in all_headers() {
+            let expect = a.matches(h) && b.matches(h);
+            let got = a.intersect(&b).is_some_and(|i| i.matches(h));
+            prop_assert_eq!(got, expect, "header {}", h);
+        }
+    }
+
+    #[test]
+    fn intersect_commutes(a in arb_ternary(), b in arb_ternary()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn intersect_associates(a in arb_ternary(), b in arb_ternary(), c in arb_ternary()) {
+        let left = a.intersect(&b).and_then(|ab| ab.intersect(&c));
+        let right = b.intersect(&c).and_then(|bc| a.intersect(&bc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn subset_iff_intersection_is_self(a in arb_ternary(), b in arb_ternary()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.intersect(&b) == Some(a));
+    }
+
+    #[test]
+    fn overlaps_iff_intersection_exists(a in arb_ternary(), b in arb_ternary()) {
+        prop_assert_eq!(a.overlaps(&b), a.intersect(&b).is_some());
+    }
+
+    #[test]
+    fn complement_is_exact(a in arb_ternary()) {
+        let comp = a.complement();
+        for h in all_headers() {
+            let hits = comp.iter().filter(|c| c.matches(h)).count();
+            prop_assert!(hits <= 1, "complement terms must be disjoint");
+            prop_assert_eq!(hits == 0, a.matches(h));
+        }
+    }
+
+    #[test]
+    fn set_field_semantics(a in arb_ternary(), s in arb_ternary()) {
+        // Image of `a` under T(·, s) equals bit-wise rewrite of members.
+        let image = a.apply_set_field(&s);
+        for h in all_headers() {
+            if a.matches(h) {
+                let rewritten = Header::new(
+                    (h.bits() & !s.care_mask()) | s.value_bits(),
+                    LEN,
+                );
+                prop_assert!(image.matches(rewritten));
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_sound_and_complete(a in arb_set(4), b in arb_set(4)) {
+        let diff = a.subtract(&b);
+        for h in all_headers() {
+            prop_assert_eq!(
+                diff.contains(h),
+                a.contains(h) && !b.contains(h),
+                "difference wrong at {}", h
+            );
+        }
+    }
+
+    #[test]
+    fn set_intersection_and_union_sound(a in arb_set(4), b in arb_set(4)) {
+        let inter = a.intersect(&b);
+        let union = a.union(&b);
+        for h in all_headers() {
+            prop_assert_eq!(inter.contains(h), a.contains(h) && b.contains(h));
+            prop_assert_eq!(union.contains(h), a.contains(h) || b.contains(h));
+        }
+    }
+
+    #[test]
+    fn contains_ternary_is_exact(s in arb_set(4), t in arb_ternary()) {
+        let expect = t.enumerate().all(|h| s.contains(h));
+        prop_assert_eq!(s.contains_ternary(&t), expect);
+    }
+
+    #[test]
+    fn exact_count_matches_brute_force(s in arb_set(4)) {
+        let brute = all_headers().filter(|h| s.contains(*h)).count() as u128;
+        prop_assert_eq!(s.exact_count(), brute);
+    }
+
+    #[test]
+    fn witness_solver_sound_and_complete(
+        pos in arb_ternary(),
+        negs in prop::collection::vec(arb_ternary(), 0..6),
+    ) {
+        let exists = pos
+            .enumerate()
+            .any(|h| !negs.iter().any(|q| q.matches(h)));
+        let query = WitnessQuery::new(pos).avoid_all(negs.iter().copied());
+        match query.solve() {
+            Some(h) => {
+                prop_assert!(exists, "solver returned witness for empty set");
+                prop_assert!(pos.matches(h), "witness outside positive");
+                prop_assert!(
+                    !negs.iter().any(|q| q.matches(h)),
+                    "witness matches a negative"
+                );
+            }
+            None => prop_assert!(!exists, "solver missed an existing witness"),
+        }
+    }
+
+    #[test]
+    fn preimage_is_exact(s in arb_set(4), sf in arb_ternary()) {
+        // h is in the preimage iff T(h, sf) is in the set.
+        let pre = s.preimage_under(&sf);
+        for h in all_headers() {
+            let image = Header::new(
+                (h.bits() & !sf.care_mask()) | sf.value_bits(),
+                LEN,
+            );
+            prop_assert_eq!(pre.contains(h), s.contains(image), "at {}", h);
+        }
+    }
+
+    #[test]
+    fn forward_then_back_round_trips(a in arb_ternary(), sf in arb_ternary()) {
+        // Every member of `a` is in the preimage of a's image.
+        let image = HeaderSet::from(a.apply_set_field(&sf));
+        let pre = image.preimage_under(&sf);
+        for h in a.enumerate() {
+            prop_assert!(pre.contains(h));
+        }
+    }
+
+    #[test]
+    fn sampled_headers_are_members(s in arb_set(4), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(h) = s.sample_header(&mut rng) {
+            prop_assert!(s.contains(h));
+        } else {
+            prop_assert!(s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Bipartite graphs and maximum matching.
+//!
+//! The paper reduces test-packet minimization to maximum bipartite
+//! matching (Algorithm 1): a rule graph with vertices `r1..rn` becomes a
+//! bipartite graph with left copies `r1..rn` and right copies
+//! `r1'..rn'`, and each directed edge `(ri, rj)` becomes the undirected
+//! edge `(ri, rj')`. This module provides the graph container plus two
+//! maximum-matching algorithms: Hopcroft–Karp (`O(E sqrt(V))`, the
+//! paper's choice) and Kuhn's simple augmenting search (used as a test
+//! oracle).
+
+use serde::{Deserialize, Serialize};
+
+/// A bipartite graph with `left` and `right` vertex sets, stored as
+/// left-to-right adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_matching::BipartiteGraph;
+///
+/// let mut g = BipartiteGraph::new(2, 2);
+/// g.add_edge(0, 0);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 1);
+/// let m = g.hopcroft_karp();
+/// assert_eq!(m.size(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    left: usize,
+    right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+/// A matching: for every left vertex, its matched right vertex (if any),
+/// and vice versa.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `pair_left[u] = Some(v)` iff edge `(u, v)` is matched.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[v] = Some(u)` iff edge `(u, v)` is matched.
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// An empty matching over the given side sizes.
+    pub fn empty(left: usize, right: usize) -> Self {
+        Self {
+            pair_left: vec![None; left],
+            pair_right: vec![None; right],
+        }
+    }
+
+    /// Number of matched edges.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().flatten().count()
+    }
+
+    /// Adds a matched edge; both endpoints must currently be free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is already matched or out of range.
+    pub fn add(&mut self, u: usize, v: usize) {
+        assert!(self.pair_left[u].is_none(), "left {u} already matched");
+        assert!(self.pair_right[v].is_none(), "right {v} already matched");
+        self.pair_left[u] = Some(v);
+        self.pair_right[v] = Some(u);
+    }
+
+    /// Removes the matched edge at left vertex `u`, if any.
+    pub fn remove_left(&mut self, u: usize) -> Option<usize> {
+        let v = self.pair_left[u].take()?;
+        self.pair_right[v] = None;
+        Some(v)
+    }
+
+    /// Validates internal consistency against a graph (every matched edge
+    /// exists; the two arrays mirror each other).
+    pub fn is_valid_for(&self, g: &BipartiteGraph) -> bool {
+        if self.pair_left.len() != g.left_count() || self.pair_right.len() != g.right_count() {
+            return false;
+        }
+        for (u, v) in self.pair_left.iter().enumerate() {
+            if let Some(v) = v {
+                if self.pair_right[*v] != Some(u) || !g.has_edge(u, *v) {
+                    return false;
+                }
+            }
+        }
+        for (v, u) in self.pair_right.iter().enumerate() {
+            if let Some(u) = u {
+                if self.pair_left[*u] != Some(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl BipartiteGraph {
+    /// Creates a graph with the given side sizes and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        Self {
+            left,
+            right,
+            adj: vec![Vec::new(); left],
+        }
+    }
+
+    /// Number of left vertices.
+    pub fn left_count(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    pub fn right_count(&self) -> usize {
+        self.right
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Adds edge `(u, v)`; duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.left, "left vertex {u} out of range");
+        assert!(v < self.right, "right vertex {v} out of range");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+        }
+    }
+
+    /// Right neighbours of left vertex `u`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// True if the edge exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).is_some_and(|ns| ns.contains(&v))
+    }
+
+    /// Maximum matching via Hopcroft–Karp in `O(E sqrt(V))`.
+    pub fn hopcroft_karp(&self) -> Matching {
+        const INF: u32 = u32::MAX;
+        let mut pair_left: Vec<Option<usize>> = vec![None; self.left];
+        let mut pair_right: Vec<Option<usize>> = vec![None; self.right];
+        let mut dist: Vec<u32> = vec![INF; self.left];
+
+        loop {
+            // BFS: layer free left vertices at distance 0.
+            let mut queue = std::collections::VecDeque::new();
+            for u in 0..self.left {
+                if pair_left[u].is_none() {
+                    dist[u] = 0;
+                    queue.push_back(u);
+                } else {
+                    dist[u] = INF;
+                }
+            }
+            let mut found_augmenting = false;
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    match pair_right[v] {
+                        None => found_augmenting = true,
+                        Some(w) if dist[w] == INF => {
+                            dist[w] = dist[u] + 1;
+                            queue.push_back(w);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS along layered structure.
+            fn dfs(
+                u: usize,
+                adj: &[Vec<usize>],
+                pair_left: &mut [Option<usize>],
+                pair_right: &mut [Option<usize>],
+                dist: &mut [u32],
+            ) -> bool {
+                for i in 0..adj[u].len() {
+                    let v = adj[u][i];
+                    let ok = match pair_right[v] {
+                        None => true,
+                        Some(w) => {
+                            dist[w] == dist[u].wrapping_add(1)
+                                && dfs(w, adj, pair_left, pair_right, dist)
+                        }
+                    };
+                    if ok {
+                        pair_left[u] = Some(v);
+                        pair_right[v] = Some(u);
+                        return true;
+                    }
+                }
+                dist[u] = u32::MAX;
+                false
+            }
+            for u in 0..self.left {
+                if pair_left[u].is_none() && dist[u] == 0 {
+                    dfs(u, &self.adj, &mut pair_left, &mut pair_right, &mut dist);
+                }
+            }
+        }
+        Matching {
+            pair_left,
+            pair_right,
+        }
+    }
+
+    /// Maximum matching via Kuhn's algorithm in `O(V·E)`; simple and used
+    /// as a correctness oracle for Hopcroft–Karp.
+    pub fn kuhn(&self) -> Matching {
+        let mut pair_right: Vec<Option<usize>> = vec![None; self.right];
+        let mut pair_left: Vec<Option<usize>> = vec![None; self.left];
+        fn try_augment(
+            u: usize,
+            adj: &[Vec<usize>],
+            visited: &mut [bool],
+            pair_left: &mut [Option<usize>],
+            pair_right: &mut [Option<usize>],
+        ) -> bool {
+            for &v in &adj[u] {
+                if visited[v] {
+                    continue;
+                }
+                visited[v] = true;
+                let free = match pair_right[v] {
+                    None => true,
+                    Some(w) => try_augment(w, adj, visited, pair_left, pair_right),
+                };
+                if free {
+                    pair_left[u] = Some(v);
+                    pair_right[v] = Some(u);
+                    return true;
+                }
+            }
+            false
+        }
+        for u in 0..self.left {
+            let mut visited = vec![false; self.right];
+            try_augment(
+                u,
+                &self.adj,
+                &mut visited,
+                &mut pair_left,
+                &mut pair_right,
+            );
+        }
+        Matching {
+            pair_left,
+            pair_right,
+        }
+    }
+
+    /// Exact maximum matching size by exponential search — test oracle
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 20 edges.
+    pub fn brute_force_max_matching(&self) -> usize {
+        let edges: Vec<(usize, usize)> = (0..self.left)
+            .flat_map(|u| self.adj[u].iter().map(move |&v| (u, v)))
+            .collect();
+        assert!(edges.len() <= 20, "brute force limited to 20 edges");
+        let mut best = 0;
+        for mask in 0u32..1 << edges.len() {
+            let chosen: Vec<(usize, usize)> = edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, e)| *e)
+                .collect();
+            let mut lused = vec![false; self.left];
+            let mut rused = vec![false; self.right];
+            if chosen.iter().all(|&(u, v)| {
+                let ok = !lused[u] && !rused[v];
+                lused[u] = true;
+                rused[v] = true;
+                ok
+            }) {
+                best = best.max(chosen.len());
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_square() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        let m = g.hopcroft_karp();
+        assert_eq!(m.size(), 2);
+        assert!(m.is_valid_for(&g));
+        assert_eq!(m.pair_left[0], Some(0));
+        assert_eq!(m.pair_left[1], Some(1));
+    }
+
+    #[test]
+    fn requires_augmenting_path_flip() {
+        // Greedy picking (0,0) forces augmenting to match both.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(0, 1);
+        assert_eq!(g.hopcroft_karp().size(), 2);
+        assert_eq!(g.kuhn().size(), 2);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.hopcroft_karp().size(), 0);
+        let g = BipartiteGraph::new(3, 3);
+        assert_eq!(g.hopcroft_karp().size(), 0);
+        assert_eq!(g.kuhn().size(), 0);
+    }
+
+    #[test]
+    fn star_matches_once() {
+        let mut g = BipartiteGraph::new(4, 1);
+        for u in 0..4 {
+            g.add_edge(u, 0);
+        }
+        assert_eq!(g.hopcroft_karp().size(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn hk_matches_kuhn_and_brute_force_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let l = rng.gen_range(1..6);
+            let r = rng.gen_range(1..6);
+            let mut g = BipartiteGraph::new(l, r);
+            for u in 0..l {
+                for v in 0..r {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            if g.edge_count() > 20 {
+                continue;
+            }
+            let hk = g.hopcroft_karp();
+            let kuhn = g.kuhn();
+            let brute = g.brute_force_max_matching();
+            assert_eq!(hk.size(), brute, "HK wrong on {g:?}");
+            assert_eq!(kuhn.size(), brute, "Kuhn wrong on {g:?}");
+            assert!(hk.is_valid_for(&g));
+            assert!(kuhn.is_valid_for(&g));
+        }
+    }
+
+    #[test]
+    fn matching_container_operations() {
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 1);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.remove_left(0), Some(1));
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.remove_left(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already matched")]
+    fn double_match_panics() {
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 0);
+        m.add(1, 0);
+    }
+}

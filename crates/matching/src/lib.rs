@@ -1,0 +1,40 @@
+//! Matching and path-cover algorithms for SDNProbe.
+//!
+//! Implements the graph machinery behind the paper's Algorithm 1: the
+//! bipartite split-graph construction (Figure 5), Hopcroft–Karp maximum
+//! matching, Dyer–Frieze randomized greedy matching (the engine of
+//! Randomized SDNProbe), and minimum path covers on DAGs via the
+//! matching reduction `|cover| = n − |M|` — with and without vertex
+//! sharing (transitive closure). Exponential-time oracles for both
+//! matching and path cover back the property-test suite.
+//!
+//! The *legality*-aware variant of these algorithms (Minimum **Legal**
+//! Path Cover) lives in the `sdnprobe` core crate, since it needs the
+//! rule graph's header-space bookkeeping; this crate is purely
+//! combinatorial.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sdnprobe_matching::{min_path_cover_with_sharing, Dag};
+//!
+//! let mut d = Dag::new(3);
+//! d.add_edge(0, 1);
+//! d.add_edge(1, 2);
+//! assert_eq!(min_path_cover_with_sharing(&d).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod bipartite;
+mod greedy;
+mod path_cover;
+
+pub use bipartite::{BipartiteGraph, Matching};
+pub use greedy::{randomized_greedy_matching, randomized_greedy_matching_with};
+pub use path_cover::{
+    brute_force_min_path_cover_size, min_path_cover, min_path_cover_with_sharing,
+    paths_from_matching, Dag,
+};

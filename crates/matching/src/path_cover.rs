@@ -1,0 +1,422 @@
+//! Minimum path cover on directed acyclic graphs.
+//!
+//! The classical reduction (Dilworth / Fulkerson): a minimum set of
+//! vertex-disjoint paths covering a DAG's vertices has size
+//! `n − |M|` where `M` is a maximum matching of the bipartite *split
+//! graph* (left copy = edge tails, right copy = edge heads). Applying
+//! the same reduction to the DAG's transitive closure yields the minimum
+//! number of paths when vertices may be shared — which is exactly how
+//! SDNProbe uses it: closure edges let one tested path "pass through"
+//! rules already covered by another (§V-B, Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bipartite::{BipartiteGraph, Matching};
+
+/// A directed graph stored as adjacency lists, expected to be acyclic
+/// for path-cover operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Creates a DAG with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Adds edge `u -> v`; duplicates are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len(), "vertex {u} out of range");
+        assert!(v < self.adj.len(), "vertex {v} out of range");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+        }
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// True if the edge exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).is_some_and(|ns| ns.contains(&v))
+    }
+
+    /// Kahn topological sort; `None` if the graph has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.adj.len();
+        let mut indegree = vec![0usize; n];
+        for ns in &self.adj {
+            for &v in ns {
+                indegree[v] += 1;
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> = (0..n)
+            .filter(|&v| indegree[v] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.adj[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Finds a directed cycle, or `None` if acyclic (diagnostic for the
+    /// paper's loop-free policy assumption).
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.adj.len();
+        let mut mark = vec![Mark::White; n];
+        let mut stack: Vec<usize> = Vec::new();
+        fn dfs(
+            u: usize,
+            adj: &[Vec<usize>],
+            mark: &mut [Mark],
+            stack: &mut Vec<usize>,
+        ) -> Option<Vec<usize>> {
+            mark[u] = Mark::Gray;
+            stack.push(u);
+            for &v in &adj[u] {
+                match mark[v] {
+                    Mark::Gray => {
+                        let start = stack.iter().position(|&x| x == v).expect("on stack");
+                        return Some(stack[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(v, adj, mark, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            stack.pop();
+            mark[u] = Mark::Black;
+            None
+        }
+        for u in 0..n {
+            if mark[u] == Mark::White {
+                if let Some(c) = dfs(u, &self.adj, &mut mark, &mut stack) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Transitive closure as a new DAG (edge `u -> v` iff a non-trivial
+    /// directed path exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a cycle.
+    pub fn transitive_closure(&self) -> Dag {
+        let order = self.topological_order().expect("graph must be acyclic");
+        let n = self.adj.len();
+        // Bitset DP in reverse topological order.
+        let words = n.div_ceil(64);
+        let mut reach = vec![vec![0u64; words]; n];
+        for &u in order.iter().rev() {
+            for &v in &self.adj[u] {
+                reach[u][v / 64] |= 1 << (v % 64);
+                let (left, right) = reach.split_at_mut(u.max(v));
+                let (src, dst) = if u < v {
+                    (&right[0], &mut left[u])
+                } else {
+                    (&left[v], &mut right[0])
+                };
+                for w in 0..words {
+                    dst[w] |= src[w];
+                }
+            }
+        }
+        let mut out = Dag::new(n);
+        for u in 0..n {
+            for w in 0..words {
+                let mut bits = reach[u][w];
+                while bits != 0 {
+                    let v = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out.add_edge(u, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The bipartite split graph: left copy of every vertex, right copy
+    /// of every vertex, edge `(u, v')` per DAG edge `u -> v` (the paper's
+    /// Figure 5 construction).
+    pub fn split_graph(&self) -> BipartiteGraph {
+        let n = self.adj.len();
+        let mut g = BipartiteGraph::new(n, n);
+        for u in 0..n {
+            for &v in &self.adj[u] {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+/// Reconstructs the vertex-disjoint path cover encoded by a matching on
+/// the split graph: matched edge `(u, v')` means `v` follows `u` on a
+/// cover path.
+///
+/// Returns paths sorted by their first vertex for determinism.
+pub fn paths_from_matching(n: usize, m: &Matching) -> Vec<Vec<usize>> {
+    let mut paths = Vec::new();
+    for start in 0..n {
+        // A path starts at any vertex that is not someone's successor.
+        if m.pair_right[start].is_some() {
+            continue;
+        }
+        let mut path = vec![start];
+        let mut cur = start;
+        while let Some(next) = m.pair_left[cur] {
+            path.push(next);
+            cur = next;
+        }
+        paths.push(path);
+    }
+    paths.sort();
+    paths
+}
+
+/// Minimum vertex-disjoint path cover of a DAG via Hopcroft–Karp on the
+/// split graph (`|cover| = n − |M|`).
+///
+/// # Panics
+///
+/// Panics if the graph has a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_matching::{min_path_cover, Dag};
+///
+/// let mut d = Dag::new(3);
+/// d.add_edge(0, 1);
+/// d.add_edge(1, 2);
+/// assert_eq!(min_path_cover(&d), vec![vec![0, 1, 2]]);
+/// ```
+pub fn min_path_cover(dag: &Dag) -> Vec<Vec<usize>> {
+    assert!(
+        dag.topological_order().is_some(),
+        "path cover requires an acyclic graph"
+    );
+    let m = dag.split_graph().hopcroft_karp();
+    paths_from_matching(dag.vertex_count(), &m)
+}
+
+/// Minimum path cover when paths may share vertices: `min_path_cover` on
+/// the transitive closure, with each closure path still reported in
+/// closure-edge form (consecutive vertices connected by closure edges).
+///
+/// # Panics
+///
+/// Panics if the graph has a cycle.
+pub fn min_path_cover_with_sharing(dag: &Dag) -> Vec<Vec<usize>> {
+    min_path_cover(&dag.transitive_closure())
+}
+
+/// Exhaustive minimum path cover size (vertex-disjoint) — test oracle.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 10 vertices or a cycle.
+pub fn brute_force_min_path_cover_size(dag: &Dag) -> usize {
+    let n = dag.vertex_count();
+    assert!(n <= 10, "brute force limited to 10 vertices");
+    assert!(dag.topological_order().is_some(), "graph must be acyclic");
+    if n == 0 {
+        return 0;
+    }
+    // A disjoint path cover is exactly a choice of "successor" edges
+    // forming a matching in the split graph; minimize n - |M| by brute
+    // force over edge subsets (delegate to bipartite brute force when
+    // small, else greedy bound check via HK — here n<=10 keeps edges
+    // <= 90, so enumerate matchings via DFS instead).
+    let split = dag.split_graph();
+    // DFS over left vertices choosing an available right or skipping.
+    fn best(
+        u: usize,
+        split: &BipartiteGraph,
+        used_right: &mut Vec<bool>,
+    ) -> usize {
+        if u == split.left_count() {
+            return 0;
+        }
+        let mut m = best(u + 1, split, used_right); // skip u
+        for &v in split.neighbors(u) {
+            if !used_right[v] {
+                used_right[v] = true;
+                m = m.max(1 + best(u + 1, split, used_right));
+                used_right[v] = false;
+            }
+        }
+        m
+    }
+    let mut used = vec![false; n];
+    n - best(0, &split, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Dag {
+        let mut d = Dag::new(n);
+        for i in 0..n.saturating_sub(1) {
+            d.add_edge(i, i + 1);
+        }
+        d
+    }
+
+    #[test]
+    fn chain_is_one_path() {
+        assert_eq!(min_path_cover(&chain(5)), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn antichain_needs_n_paths() {
+        let d = Dag::new(4);
+        let cover = min_path_cover(&d);
+        assert_eq!(cover.len(), 4);
+        assert!(cover.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn diamond_needs_two_paths() {
+        // 0 -> {1,2} -> 3: disjoint cover needs 2 paths.
+        let mut d = Dag::new(4);
+        d.add_edge(0, 1);
+        d.add_edge(0, 2);
+        d.add_edge(1, 3);
+        d.add_edge(2, 3);
+        let cover = min_path_cover(&d);
+        assert_eq!(cover.len(), 2);
+        // Every vertex exactly once (disjointness).
+        let mut all: Vec<usize> = cover.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sharing_reduces_cover_on_spider() {
+        // Two chains through a shared middle vertex:
+        // 0 -> 2 -> 3 and 1 -> 2 -> 4.
+        let mut d = Dag::new(5);
+        d.add_edge(0, 2);
+        d.add_edge(1, 2);
+        d.add_edge(2, 3);
+        d.add_edge(2, 4);
+        assert_eq!(min_path_cover(&d).len(), 3); // disjoint: one chain + 2 leftovers
+        let shared = min_path_cover_with_sharing(&d);
+        assert_eq!(shared.len(), 2); // closure lets both chains run through 2
+    }
+
+    #[test]
+    fn topological_order_and_cycles() {
+        let d = chain(4);
+        assert_eq!(d.topological_order(), Some(vec![0, 1, 2, 3]));
+        assert!(d.find_cycle().is_none());
+        let mut c = chain(3);
+        c.add_edge(2, 0);
+        assert!(c.topological_order().is_none());
+        let cycle = c.find_cycle().expect("has cycle");
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let tc = chain(4).transitive_closure();
+        assert_eq!(tc.edge_count(), 6); // 3+2+1
+        assert!(tc.has_edge(0, 3));
+        assert!(!tc.has_edge(3, 0));
+    }
+
+    #[test]
+    fn closure_on_large_indices_crosses_word_boundary() {
+        let mut d = Dag::new(130);
+        d.add_edge(0, 64);
+        d.add_edge(64, 129);
+        let tc = d.transitive_closure();
+        assert!(tc.has_edge(0, 129));
+    }
+
+    #[test]
+    fn paths_from_matching_reconstruction() {
+        let mut m = Matching::empty(4, 4);
+        m.add(0, 1);
+        m.add(1, 2);
+        let paths = paths_from_matching(4, &m);
+        assert_eq!(paths, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_dags() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..300 {
+            let n = rng.gen_range(1..9);
+            let mut d = Dag::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.3) {
+                        d.add_edge(u, v); // forward edges only: acyclic
+                    }
+                }
+            }
+            let hk = min_path_cover(&d).len();
+            let brute = brute_force_min_path_cover_size(&d);
+            assert_eq!(hk, brute, "mismatch on {d:?}");
+            // Sharing never increases the cover size.
+            assert!(min_path_cover_with_sharing(&d).len() <= hk);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cover_rejects_cyclic_graph() {
+        let mut d = chain(2);
+        d.add_edge(1, 0);
+        min_path_cover(&d);
+    }
+
+    #[test]
+    fn empty_graph_cover() {
+        assert!(min_path_cover(&Dag::new(0)).is_empty());
+        assert_eq!(brute_force_min_path_cover_size(&Dag::new(0)), 0);
+    }
+}

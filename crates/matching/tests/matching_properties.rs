@@ -1,0 +1,114 @@
+//! Property tests for matching and path covers over random graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdnprobe_matching::{
+    min_path_cover, min_path_cover_with_sharing, randomized_greedy_matching, BipartiteGraph, Dag,
+};
+
+fn arb_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..6, 1usize..6, prop::collection::vec(any::<bool>(), 36)).prop_map(
+        |(l, r, edges)| {
+            let mut g = BipartiteGraph::new(l, r);
+            for u in 0..l {
+                for v in 0..r {
+                    if edges[u * 6 + v] {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            g
+        },
+    )
+}
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (1usize..9, prop::collection::vec(any::<bool>(), 72)).prop_map(|(n, edges)| {
+        let mut d = Dag::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                if edges[u * 8 + v % 8] {
+                    d.add_edge(u, v);
+                }
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    /// Hopcroft–Karp equals Kuhn equals brute force (when small enough).
+    #[test]
+    fn maximum_matchings_agree(g in arb_bipartite()) {
+        let hk = g.hopcroft_karp();
+        let kuhn = g.kuhn();
+        prop_assert_eq!(hk.size(), kuhn.size());
+        prop_assert!(hk.is_valid_for(&g));
+        prop_assert!(kuhn.is_valid_for(&g));
+        if g.edge_count() <= 20 {
+            prop_assert_eq!(hk.size(), g.brute_force_max_matching());
+        }
+    }
+
+    /// Randomized greedy matchings are valid, maximal, and never beat
+    /// the maximum.
+    #[test]
+    fn greedy_is_maximal(g in arb_bipartite(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = randomized_greedy_matching(&g, &mut rng);
+        prop_assert!(m.is_valid_for(&g));
+        prop_assert!(m.size() <= g.hopcroft_karp().size());
+        for u in 0..g.left_count() {
+            for &v in g.neighbors(u) {
+                prop_assert!(
+                    m.pair_left[u].is_some() || m.pair_right[v].is_some(),
+                    "edge ({u},{v}) left extendable"
+                );
+            }
+        }
+    }
+
+    /// Path covers cover every vertex; disjoint covers partition them;
+    /// sharing never increases the cover size.
+    #[test]
+    fn path_covers_are_sound(d in arb_dag()) {
+        let disjoint = min_path_cover(&d);
+        let mut all: Vec<usize> = disjoint.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..d.vertex_count()).collect();
+        prop_assert_eq!(all, expect, "disjoint cover partitions the vertices");
+        for p in &disjoint {
+            for w in p.windows(2) {
+                prop_assert!(d.has_edge(w[0], w[1]));
+            }
+        }
+        let shared = min_path_cover_with_sharing(&d);
+        prop_assert!(shared.len() <= disjoint.len());
+        let covered: std::collections::HashSet<usize> =
+            shared.iter().flatten().copied().collect();
+        prop_assert_eq!(covered.len(), d.vertex_count());
+    }
+
+    /// The transitive closure is sound and transitively closed.
+    #[test]
+    fn closure_is_transitive(d in arb_dag()) {
+        let tc = d.transitive_closure();
+        for u in 0..d.vertex_count() {
+            for &v in d.successors(u) {
+                prop_assert!(tc.has_edge(u, v), "closure keeps {u}->{v}");
+                for &w in d.successors(v) {
+                    prop_assert!(tc.has_edge(u, w), "closure chains {u}->{v}->{w}");
+                }
+            }
+        }
+        // Closed under composition with original edges.
+        for u in 0..d.vertex_count() {
+            for &v in tc.successors(u) {
+                for &w in d.successors(v) {
+                    prop_assert!(tc.has_edge(u, w));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Rule-graph errors.
+
+use std::error::Error;
+use std::fmt;
+
+use sdnprobe_dataplane::EntryId;
+
+/// Errors from rule-graph construction and updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuleGraphError {
+    /// The control plane's policy forwards packets in a loop; the paper
+    /// assumes (and statically verifies) loop-free policies.
+    PolicyLoop {
+        /// Flow entries forming the detected cycle.
+        cycle: Vec<EntryId>,
+    },
+    /// The network contains no forwarding (output-action) flow entries.
+    NoForwardingRules,
+    /// An incremental update referenced an entry the graph cannot see.
+    UnknownEntry(EntryId),
+    /// A `goto` entry carries a set field, which this implementation's
+    /// pipeline flattening does not model (probe headers must be valid
+    /// at switch ingress).
+    SetFieldOnGoto(EntryId),
+}
+
+impl fmt::Display for RuleGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PolicyLoop { cycle } => {
+                write!(f, "routing policy contains a loop through {} entries", cycle.len())
+            }
+            Self::NoForwardingRules => write!(f, "network has no forwarding flow entries"),
+            Self::UnknownEntry(e) => write!(f, "entry {e} is not represented in the rule graph"),
+            Self::SetFieldOnGoto(e) => {
+                write!(f, "goto entry {e} has a set field, which is unsupported")
+            }
+        }
+    }
+}
+
+impl Error for RuleGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RuleGraphError::PolicyLoop {
+            cycle: vec![EntryId(1), EntryId(2)],
+        };
+        assert!(e.to_string().contains("loop"));
+        assert!(RuleGraphError::NoForwardingRules.to_string().contains("no forwarding"));
+        assert!(RuleGraphError::UnknownEntry(EntryId(3)).to_string().contains("e3"));
+    }
+}

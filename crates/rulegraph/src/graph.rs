@@ -1,0 +1,1063 @@
+//! Rule-graph construction and legality machinery (§V-A of the paper).
+//!
+//! The rule graph is a DAG whose vertices are forwarding flow entries and
+//! whose edges capture *possible* packet flow:
+//!
+//! 1. **Step 1 — building edges.** Edge `(ri, rj)` exists iff `ri`'s
+//!    output port links to `rj`'s switch and `ri.out ∩ rj.in ≠ ∅`.
+//! 2. **Step 2 — legal transitive closure.** Edge `(u, v)` is added iff
+//!    a *legal path* (Definition 1) leads from `u` to `v`: some concrete
+//!    packet can traverse the whole chain of rules.
+//!
+//! A routing loop (cycle in the step-1 graph) is rejected at
+//! construction, per the paper's loop-free-policy assumption.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sdnprobe_dataplane::{Action, EntryId, Network, TableId};
+use sdnprobe_headerspace::HeaderSet;
+use sdnprobe_topology::SwitchId;
+
+use crate::error::RuleGraphError;
+use crate::vertex::{RuleVertex, VertexId};
+
+/// Legal-path statistics for the paper's Table II.
+///
+/// `NLPS` counts source-to-sink paths of the step-1 rule graph (every
+/// consecutive pair being edge-compatible); `MLPS`/`ALPS` are the
+/// maximum/average number of rules on those paths. Counting uses DAG
+/// dynamic programming — paths are never enumerated, since the paper's
+/// largest topology has 1.7 M of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalPathStats {
+    /// Maximum legal path length (rules per path), the paper's MLPS.
+    pub max_len: usize,
+    /// Average legal path length, the paper's ALPS.
+    pub avg_len: f64,
+    /// Total number of legal paths, the paper's NLPS.
+    pub total_paths: f64,
+}
+
+/// The rule graph: vertices, step-1 edges, and legal transitive closure.
+///
+/// # Examples
+///
+/// Building the graph for a two-switch network:
+///
+/// ```
+/// use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+/// use sdnprobe_rulegraph::RuleGraph;
+/// use sdnprobe_topology::{SwitchId, Topology};
+///
+/// let mut topo = Topology::new(2);
+/// topo.add_link(SwitchId(0), SwitchId(1));
+/// let mut net = Network::new(topo);
+/// let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+/// net.install(SwitchId(0), TableId(0),
+///     FlowEntry::new("00xxxxxx".parse()?, Action::Output(p)))?;
+/// let back = net.topology().port_towards(SwitchId(1), SwitchId(0)).unwrap();
+/// // Host-facing port 99 leaves the network; still a forwarding rule.
+/// let _ = back;
+/// net.install(SwitchId(1), TableId(0),
+///     FlowEntry::new("0xxxxxxx".parse()?, Action::Output(sdnprobe_topology::PortId(99))))?;
+/// let graph = RuleGraph::from_network(&net)?;
+/// assert_eq!(graph.vertex_count(), 2);
+/// assert_eq!(graph.step1_edge_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleGraph {
+    pub(crate) header_len: u32,
+    pub(crate) vertices: Vec<Option<RuleVertex>>,
+    pub(crate) by_entry: HashMap<EntryId, VertexId>,
+    /// Alive vertices per (switch, table), for edge rebuilding.
+    pub(crate) by_location: HashMap<(SwitchId, TableId), Vec<VertexId>>,
+    /// Step-1 out-edges.
+    pub(crate) step1: Vec<Vec<VertexId>>,
+    /// Step-1 in-edges (for incremental updates).
+    pub(crate) step1_rev: Vec<Vec<VertexId>>,
+    /// Legal-closure successors per vertex (includes step-1 successors).
+    pub(crate) closure: Vec<Vec<VertexId>>,
+    pub(crate) closure_set: HashSet<(usize, usize)>,
+}
+
+impl RuleGraph {
+    /// Builds the rule graph from every *forwarding* entry installed in
+    /// the network (entries whose action is `Output`). Non-forwarding
+    /// entries (drop, controller, goto) still shadow lower-priority
+    /// matches but contribute no vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleGraphError::PolicyLoop`] if the step-1 graph has a
+    /// cycle (the controller's policy routes in a loop) and
+    /// [`RuleGraphError::NoForwardingRules`] if the network has no
+    /// forwarding entries at all.
+    pub fn from_network(net: &Network) -> Result<Self, RuleGraphError> {
+        let mut graph = Self::vertices_only(net)?;
+        graph.rebuild_all_edges(net);
+        graph.check_acyclic()?;
+        graph.rebuild_full_closure();
+        Ok(graph)
+    }
+
+    /// Builds vertices with resolved input/output spaces but no edges.
+    ///
+    /// Multi-table policies are flattened: a forwarding entry in table
+    /// `k > 0` is reachable only through `goto` entries, so its
+    /// *effective* input is the header space arriving at its table
+    /// intersected with its table-local resolved match (see
+    /// [`effective_inputs`]).
+    pub(crate) fn vertices_only(net: &Network) -> Result<Self, RuleGraphError> {
+        let mut vertices: Vec<Option<RuleVertex>> = Vec::new();
+        let mut by_entry = HashMap::new();
+        let mut by_location: HashMap<(SwitchId, TableId), Vec<VertexId>> = HashMap::new();
+        let mut header_len = 0u32;
+        for switch in net.topology().switches() {
+            let inputs = effective_inputs(net, switch)?;
+            let tables = net.table_count(switch).expect("switch exists");
+            for table in (0..tables).map(TableId) {
+                let ft = net.flow_table(switch, table).expect("table exists");
+                for (entry_id, entry) in ft.iter() {
+                    let Action::Output(port) = entry.action() else {
+                        continue;
+                    };
+                    header_len = entry.match_field().len();
+                    let input = inputs
+                        .get(&entry_id)
+                        .cloned()
+                        .expect("effective_inputs covers every forwarding entry");
+                    let output = input.apply_set_field(&entry.set_field());
+                    let id = VertexId(vertices.len());
+                    vertices.push(Some(RuleVertex {
+                        entry: entry_id,
+                        switch,
+                        table,
+                        match_field: entry.match_field(),
+                        set_field: entry.set_field(),
+                        next_switch: net.topology().peer_of(switch, port),
+                        out_port: port,
+                        priority: entry.priority(),
+                        input,
+                        output,
+                    }));
+                    by_entry.insert(entry_id, id);
+                    by_location.entry((switch, table)).or_default().push(id);
+                }
+            }
+        }
+        if vertices.is_empty() {
+            return Err(RuleGraphError::NoForwardingRules);
+        }
+        let n = vertices.len();
+        Ok(Self {
+            header_len,
+            vertices,
+            by_entry,
+            by_location,
+            step1: vec![Vec::new(); n],
+            step1_rev: vec![Vec::new(); n],
+            closure: vec![Vec::new(); n],
+            closure_set: HashSet::new(),
+        })
+    }
+
+    /// Header length in bits of the underlying rules.
+    pub fn header_len(&self) -> u32 {
+        self.header_len
+    }
+
+    /// Number of live vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.iter().flatten().count()
+    }
+
+    /// Iterates over live vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|_| VertexId(i)))
+    }
+
+    /// The vertex data for a live id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is dead or out of range.
+    pub fn vertex(&self, id: VertexId) -> &RuleVertex {
+        self.vertices[id.0]
+            .as_ref()
+            .expect("vertex id must be live")
+    }
+
+    /// Looks up the vertex hosting an entry.
+    pub fn vertex_of_entry(&self, entry: EntryId) -> Option<VertexId> {
+        self.by_entry.get(&entry).copied()
+    }
+
+    /// Step-1 successors of a vertex.
+    pub fn successors(&self, u: VertexId) -> &[VertexId] {
+        &self.step1[u.0]
+    }
+
+    /// Step-1 predecessors of a vertex.
+    pub fn predecessors(&self, u: VertexId) -> &[VertexId] {
+        &self.step1_rev[u.0]
+    }
+
+    /// Number of step-1 edges.
+    pub fn step1_edge_count(&self) -> usize {
+        self.step1.iter().map(Vec::len).sum()
+    }
+
+    /// Closure successors of a vertex (every `v` with a legal path
+    /// `u → … → v`, including direct successors).
+    pub fn closure_successors(&self, u: VertexId) -> &[VertexId] {
+        &self.closure[u.0]
+    }
+
+    /// True if the legal transitive closure contains edge `(u, v)`.
+    pub fn has_closure_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.closure_set.contains(&(u.0, v.0))
+    }
+
+    /// Number of closure edges.
+    pub fn closure_edge_count(&self) -> usize {
+        self.closure_set.len()
+    }
+
+    /// The paper's `O_{i+1} = T(O_i ∩ r.in, r.s)` chain step.
+    pub fn chain(&self, set: &HeaderSet, v: VertexId) -> HeaderSet {
+        let vert = self.vertex(v);
+        set.intersect(&vert.input).apply_set_field(&vert.set_field)
+    }
+
+    /// Header space of packets that can traverse an entire *real* path
+    /// (consecutive step-1 edges): the paper's `HS(ℓ)`, measured at path
+    /// entry. Empty iff the path is illegal.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if consecutive vertices are not step-1
+    /// adjacent.
+    pub fn path_header_space(&self, path: &[VertexId]) -> HeaderSet {
+        if path.is_empty() {
+            return HeaderSet::empty(self.header_len);
+        }
+        debug_assert!(
+            path.windows(2).all(|w| self.step1[w[0].0].contains(&w[1])),
+            "path must follow step-1 edges"
+        );
+        // Forward pass to confirm legality cheaply.
+        let mut forward = self.vertex(path[0]).output.clone();
+        for &v in &path[1..] {
+            forward = self.chain(&forward, v);
+            if forward.is_empty() {
+                return HeaderSet::empty(self.header_len);
+            }
+        }
+        // Backward pass to project the surviving constraint to the
+        // path's entry headers.
+        let mut required = HeaderSet::full(self.header_len);
+        for &v in path.iter().rev() {
+            let vert = self.vertex(v);
+            required = vert
+                .input
+                .intersect(&required.preimage_under(&vert.set_field));
+        }
+        required
+    }
+
+    /// True if a real path is legal (Definition 1).
+    pub fn is_real_path_legal(&self, path: &[VertexId]) -> bool {
+        !self.path_header_space(path).is_empty()
+    }
+
+    /// Expands a *cover path* — consecutive legal-closure edges — into a
+    /// real step-1 path that is legal end to end, together with its
+    /// entry header space. Returns `None` when no expansion is legal.
+    ///
+    /// This is the conversion the paper sketches in Figure 6
+    /// (`b2 → e2` becomes `b2 → c2 → e2`), done with full backtracking so
+    /// a failed witness choice in one segment can be revised.
+    pub fn expand_cover_path(&self, cover: &[VertexId]) -> Option<(Vec<VertexId>, HeaderSet)> {
+        if cover.is_empty() {
+            return None;
+        }
+        let mut real = vec![cover[0]];
+        let start = self.vertex(cover[0]).output.clone();
+        let final_set = self.expand_rec(cover, 1, start, &mut real)?;
+        let _ = final_set;
+        let hs = self.path_header_space(&real);
+        debug_assert!(!hs.is_empty());
+        Some((real, hs))
+    }
+
+    fn expand_rec(
+        &self,
+        cover: &[VertexId],
+        seg: usize,
+        set: HeaderSet,
+        real: &mut Vec<VertexId>,
+    ) -> Option<HeaderSet> {
+        if seg == cover.len() {
+            return Some(set);
+        }
+        let target = cover[seg];
+        let from = *real.last().expect("real path is non-empty");
+        self.dfs_expand(cover, seg, from, target, set, real)
+    }
+
+    /// DFS from `from` toward `target` over step-1 edges, chaining `set`;
+    /// on reaching the target, recurse into the next cover segment and
+    /// backtrack on failure.
+    fn dfs_expand(
+        &self,
+        cover: &[VertexId],
+        seg: usize,
+        from: VertexId,
+        target: VertexId,
+        set: HeaderSet,
+        real: &mut Vec<VertexId>,
+    ) -> Option<HeaderSet> {
+        for &next in &self.step1[from.0] {
+            // Prune: `next` must be the target or reach it legally.
+            if next != target && !self.closure_set.contains(&(next.0, target.0)) {
+                continue;
+            }
+            // Prune revisits within this real path (keeps paths simple).
+            if real.contains(&next) {
+                continue;
+            }
+            let chained = self.chain(&set, next);
+            if chained.is_empty() {
+                continue;
+            }
+            real.push(next);
+            let result = if next == target {
+                self.expand_rec(cover, seg + 1, chained, real)
+            } else {
+                self.dfs_expand(cover, seg, next, target, chained, real)
+            };
+            if result.is_some() {
+                return result;
+            }
+            real.pop();
+        }
+        None
+    }
+
+    /// Rebuilds every step-1 edge from scratch.
+    pub(crate) fn rebuild_all_edges(&mut self, _net: &Network) {
+        let n = self.vertices.len();
+        self.step1 = vec![Vec::new(); n];
+        self.step1_rev = vec![Vec::new(); n];
+        let ids: Vec<VertexId> = self.vertex_ids().collect();
+        for &u in &ids {
+            self.rebuild_out_edges(u);
+        }
+    }
+
+    /// Recomputes the out-edges of a single vertex (clearing old ones).
+    pub(crate) fn rebuild_out_edges(&mut self, u: VertexId) {
+        // Clear current out-edges.
+        let old: Vec<VertexId> = std::mem::take(&mut self.step1[u.0]);
+        for v in old {
+            self.step1_rev[v.0].retain(|&x| x != u);
+        }
+        let Some(vert) = self.vertices[u.0].as_ref() else {
+            return;
+        };
+        let Some(peer) = vert.next_switch else {
+            return; // host-facing egress: no successors
+        };
+        if vert.output.is_empty() {
+            return; // shadowed rule can never emit a packet
+        }
+        // A packet entering the peer starts in table 0, but goto chains
+        // can carry it to forwarding entries in any table; effective
+        // inputs already encode that reachability, so every vertex on
+        // the peer is a candidate.
+        let candidates: Vec<VertexId> = self
+            .by_location
+            .iter()
+            .filter(|((s, _), _)| *s == peer)
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect();
+        for v in candidates {
+            if v == u {
+                continue;
+            }
+            let Some(cand) = self.vertices[v.0].as_ref() else {
+                continue;
+            };
+            if !vert.output.intersect(&cand.input).is_empty() {
+                self.step1[u.0].push(v);
+                self.step1_rev[v.0].push(u);
+            }
+        }
+    }
+
+    /// Recomputes the in-edges of a vertex: every vertex on a neighbouring
+    /// switch that outputs toward this vertex's switch is re-evaluated.
+    pub(crate) fn rebuild_in_edges(&mut self, v: VertexId) {
+        let Some(vert) = self.vertices[v.0].as_ref() else {
+            return;
+        };
+        let switch = vert.switch;
+        // Clear current in-edges.
+        let preds: Vec<VertexId> = std::mem::take(&mut self.step1_rev[v.0]);
+        for p in preds {
+            self.step1[p.0].retain(|&x| x != v);
+        }
+        let candidates: Vec<VertexId> = self
+            .vertex_ids()
+            .filter(|&u| u != v && self.vertex(u).next_switch == Some(switch))
+            .collect();
+        let input = self.vertex(v).input.clone();
+        for u in candidates {
+            if !self.vertex(u).output.intersect(&input).is_empty() {
+                self.step1[u.0].push(v);
+                self.step1_rev[v.0].push(u);
+            }
+        }
+    }
+
+    /// Verifies the step-1 graph is a DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleGraphError::PolicyLoop`] with the offending cycle's
+    /// entries otherwise.
+    pub(crate) fn check_acyclic(&self) -> Result<(), RuleGraphError> {
+        let dag = self.to_dag();
+        if let Some(cycle) = dag.find_cycle() {
+            return Err(RuleGraphError::PolicyLoop {
+                cycle: cycle
+                    .into_iter()
+                    .filter_map(|i| self.vertices[i].as_ref().map(|v| v.entry))
+                    .collect(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The step-1 graph as a plain [`sdnprobe_matching::Dag`] (dead
+    /// vertices become isolated).
+    pub fn to_dag(&self) -> sdnprobe_matching::Dag {
+        let mut dag = sdnprobe_matching::Dag::new(self.vertices.len());
+        for u in self.vertex_ids() {
+            for &v in &self.step1[u.0] {
+                dag.add_edge(u.0, v.0);
+            }
+        }
+        dag
+    }
+
+    /// Recomputes the legal closure for every vertex. Sources are
+    /// independent, so the per-source BFS fans out across threads — rule
+    /// graph construction dominates SDNProbe's pre-computation time
+    /// (Table II's PCT column), and the paper's largest setting carries
+    /// 358k rules.
+    pub(crate) fn rebuild_full_closure(&mut self) {
+        let n = self.vertices.len();
+        self.closure = vec![Vec::new(); n];
+        self.closure_set = HashSet::new();
+        let ids: Vec<VertexId> = self.vertex_ids().collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(ids.len().max(1));
+        if workers <= 1 || ids.len() < 64 {
+            for u in ids {
+                let succs = self.compute_closure_from(u);
+                self.install_closure(u, succs);
+            }
+            return;
+        }
+        let chunk = ids.len().div_ceil(workers);
+        let results: Vec<(VertexId, Vec<VertexId>)> = std::thread::scope(|scope| {
+            let graph = &*self;
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|batch| {
+                    scope.spawn(move || {
+                        batch
+                            .iter()
+                            .map(|&u| (u, graph.compute_closure_from(u)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("closure worker panicked"))
+                .collect()
+        });
+        for (u, succs) in results {
+            self.install_closure(u, succs);
+        }
+    }
+
+    /// Recomputes the closure successors of one source vertex in place.
+    pub(crate) fn rebuild_closure_from(&mut self, u: VertexId) {
+        let succs = self.compute_closure_from(u);
+        self.install_closure(u, succs);
+    }
+
+    fn install_closure(&mut self, u: VertexId, succs: Vec<VertexId>) {
+        for v in std::mem::take(&mut self.closure[u.0]) {
+            self.closure_set.remove(&(u.0, v.0));
+        }
+        for &v in &succs {
+            self.closure_set.insert((u.0, v.0));
+        }
+        self.closure[u.0] = succs;
+    }
+
+    /// Computes the closure successors of one source vertex by
+    /// propagating header sets along step-1 edges (union-accumulating,
+    /// so splits that merge again are handled exactly). Read-only, so
+    /// sources can be processed in parallel.
+    fn compute_closure_from(&self, u: VertexId) -> Vec<VertexId> {
+        let Some(vert) = self.vertices[u.0].as_ref() else {
+            return Vec::new();
+        };
+        let mut reach: HashMap<usize, HeaderSet> = HashMap::new();
+        let mut queue: VecDeque<(VertexId, HeaderSet)> = VecDeque::new();
+        let start = vert.output.clone();
+        if start.is_empty() {
+            return Vec::new();
+        }
+        for &w in &self.step1[u.0] {
+            let s = self.chain(&start, w);
+            if !s.is_empty() {
+                queue.push_back((w, s));
+            }
+        }
+        while let Some((v, set)) = queue.pop_front() {
+            let entry = reach
+                .entry(v.0)
+                .or_insert_with(|| HeaderSet::empty(self.header_len));
+            // Only propagate genuinely new header space.
+            let mut novel = false;
+            for t in set.terms() {
+                if !entry.contains_ternary(t) {
+                    novel = true;
+                    entry.insert(*t);
+                }
+            }
+            if !novel {
+                continue;
+            }
+            for &w in &self.step1[v.0] {
+                let s = self.chain(&set, w);
+                if !s.is_empty() {
+                    queue.push_back((w, s));
+                }
+            }
+        }
+        let mut succs: Vec<VertexId> = reach.keys().map(|&i| VertexId(i)).collect();
+        succs.sort_unstable();
+        succs
+    }
+
+    /// Legal-path statistics (Table II's MLPS / ALPS / NLPS) via DAG DP
+    /// over step-1 edges: a legal path is counted from every source
+    /// (in-degree 0) to every sink (out-degree 0).
+    pub fn legal_path_stats(&self) -> LegalPathStats {
+        let order = self
+            .to_dag()
+            .topological_order()
+            .expect("rule graph is a DAG by construction");
+        let n = self.vertices.len();
+        // cnt[v]: #paths v..sink; total[v]: Σ path vertex-counts;
+        // longest[v]: longest path vertex-count from v.
+        let mut cnt = vec![0f64; n];
+        let mut total = vec![0f64; n];
+        let mut longest = vec![0usize; n];
+        for &v in order.iter().rev() {
+            if self.vertices[v].is_none() {
+                continue;
+            }
+            if self.step1[v].is_empty() {
+                cnt[v] = 1.0;
+                total[v] = 1.0;
+                longest[v] = 1;
+            } else {
+                for w in &self.step1[v] {
+                    cnt[v] += cnt[w.0];
+                    total[v] += total[w.0] + cnt[w.0];
+                    longest[v] = longest[v].max(longest[w.0] + 1);
+                }
+            }
+        }
+        let mut paths = 0f64;
+        let mut length_sum = 0f64;
+        let mut max_len = 0usize;
+        for v in self.vertex_ids() {
+            if self.step1_rev[v.0].is_empty() {
+                paths += cnt[v.0];
+                length_sum += total[v.0];
+                max_len = max_len.max(longest[v.0]);
+            }
+        }
+        LegalPathStats {
+            max_len,
+            avg_len: if paths > 0.0 { length_sum / paths } else { 0.0 },
+            total_paths: paths,
+        }
+    }
+}
+
+/// Effective inputs of every forwarding entry on a switch, flattening
+/// multi-table pipelines: table 0 receives the full header space, and a
+/// `goto` entry feeds its (table-locally resolved) input into its
+/// target table. A forwarding entry's effective input is the space
+/// arriving at its table intersected with its table-local input.
+///
+/// # Errors
+///
+/// Returns [`RuleGraphError::SetFieldOnGoto`] for `goto` entries with a
+/// set field: rewriting headers between tables would make a rule's
+/// effective input differ from the ingress header a probe must carry,
+/// which this implementation does not model (see DESIGN.md §7).
+pub(crate) fn effective_inputs(
+    net: &Network,
+    switch: SwitchId,
+) -> Result<HashMap<EntryId, HeaderSet>, RuleGraphError> {
+    let table_count = net.table_count(switch).expect("switch exists");
+    // Header length from any entry on the switch (tables are uniform).
+    let header_len = (0..table_count)
+        .filter_map(|k| {
+            net.flow_table(switch, TableId(k))
+                .expect("table exists")
+                .iter()
+                .next()
+                .map(|(_, e)| e.match_field().len())
+        })
+        .next();
+    let Some(header_len) = header_len else {
+        return Ok(HashMap::new()); // no entries on this switch
+    };
+    let mut incoming: Vec<HeaderSet> = (0..table_count)
+        .map(|k| {
+            if k == 0 {
+                HeaderSet::full(header_len)
+            } else {
+                HeaderSet::empty(header_len)
+            }
+        })
+        .collect();
+    let mut out = HashMap::new();
+    for k in 0..table_count {
+        let ft = net.flow_table(switch, TableId(k)).expect("table exists");
+        let ids: Vec<EntryId> = ft.iter().map(|(id, _)| id).collect();
+        for entry_id in ids {
+            let entry = *ft.get(entry_id).expect("listed entry exists");
+            let local = resolve_input(net, switch, TableId(k), entry_id);
+            let effective = incoming[k].intersect(&local);
+            match entry.action() {
+                Action::Output(_) => {
+                    out.insert(entry_id, effective);
+                }
+                Action::GotoTable(target) => {
+                    if !entry.set_field().is_wildcard() {
+                        return Err(RuleGraphError::SetFieldOnGoto(entry_id));
+                    }
+                    if target.0 < incoming.len() {
+                        incoming[target.0] = incoming[target.0].union(&effective);
+                    }
+                }
+                Action::Drop | Action::ToController => {}
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `r.in = r.m − ⋃_{q >o r} q.m` over the hosting table; ties broken by
+/// entry id like the data plane's lookup.
+pub(crate) fn resolve_input(
+    net: &Network,
+    switch: SwitchId,
+    table: TableId,
+    entry_id: EntryId,
+) -> HeaderSet {
+    let ft = net.flow_table(switch, table).expect("table exists");
+    let entry = ft.get(entry_id).expect("entry exists");
+    let mut input = HeaderSet::from(entry.match_field());
+    for (qid, q) in ft.iter() {
+        let higher = q.priority() > entry.priority()
+            || (q.priority() == entry.priority() && qid < entry_id);
+        if higher && q.match_field().overlaps(&entry.match_field()) {
+            input = input.subtract_ternary(&q.match_field());
+            if input.is_empty() {
+                break;
+            }
+        }
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnprobe_dataplane::{FlowEntry, Network};
+    use sdnprobe_headerspace::Ternary;
+    use sdnprobe_topology::{PortId, Topology};
+
+    fn t(s: &str) -> Ternary {
+        s.parse().expect("valid ternary")
+    }
+
+    /// The paper's Figure 3 network: switches A,B,C,D,E with the exact
+    /// flow entries of the worked example.
+    ///
+    /// Topology: A-B, B-C, B-D, C-E, D-E. Header length 8.
+    pub(crate) fn figure3() -> (Network, HashMap<&'static str, EntryId>) {
+        let (a, b, c, d, e) = (SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3), SwitchId(4));
+        let mut topo = Topology::new(5);
+        topo.add_link(a, b);
+        topo.add_link(b, c);
+        topo.add_link(b, d);
+        topo.add_link(c, e);
+        topo.add_link(d, e);
+        let mut net = Network::new(topo);
+        let mut ids = HashMap::new();
+        let port = |net: &Network, from: SwitchId, to: SwitchId| {
+            net.topology().port_towards(from, to).expect("adjacent")
+        };
+        // Host-facing egress for E's rules: a free port number.
+        let host = PortId(9);
+        // a1: match 00101xxx -> B
+        let p = port(&net, a, b);
+        ids.insert(
+            "a1",
+            net.install(a, TableId(0), FlowEntry::new(t("00101xxx"), Action::Output(p)))
+                .unwrap(),
+        );
+        // b1: 0010xxxx -> C (priority 2); b2: 0011xxxx -> C (priority 1);
+        // b3: 000xxxxx -> D (priority 0).
+        let p = port(&net, b, c);
+        ids.insert(
+            "b1",
+            net.install(
+                b,
+                TableId(0),
+                FlowEntry::new(t("0010xxxx"), Action::Output(p)).with_priority(2),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "b2",
+            net.install(
+                b,
+                TableId(0),
+                FlowEntry::new(t("0011xxxx"), Action::Output(p)).with_priority(1),
+            )
+            .unwrap(),
+        );
+        let p = port(&net, b, d);
+        ids.insert(
+            "b3",
+            net.install(
+                b,
+                TableId(0),
+                FlowEntry::new(t("000xxxxx"), Action::Output(p)).with_priority(0),
+            )
+            .unwrap(),
+        );
+        // c1: 00100xxx -> E (priority 2); c2: 001xxxxx -> E (priority 1).
+        let p = port(&net, c, e);
+        ids.insert(
+            "c1",
+            net.install(
+                c,
+                TableId(0),
+                FlowEntry::new(t("00100xxx"), Action::Output(p)).with_priority(2),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "c2",
+            net.install(
+                c,
+                TableId(0),
+                FlowEntry::new(t("001xxxxx"), Action::Output(p)).with_priority(1),
+            )
+            .unwrap(),
+        );
+        // d1: 000xxxxx, set 0111xxxx -> E.
+        let p = port(&net, d, e);
+        ids.insert(
+            "d1",
+            net.install(
+                d,
+                TableId(0),
+                FlowEntry::new(t("000xxxxx"), Action::Output(p)).with_set_field(t("0111xxxx")),
+            )
+            .unwrap(),
+        );
+        // e1: 0010xxxx (prio 2); e2: 001xxxxx (prio 1); e3: 0111xxxx
+        // (prio 0) — all egress to a host port.
+        ids.insert(
+            "e1",
+            net.install(
+                e,
+                TableId(0),
+                FlowEntry::new(t("0010xxxx"), Action::Output(host)).with_priority(2),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "e2",
+            net.install(
+                e,
+                TableId(0),
+                FlowEntry::new(t("001xxxxx"), Action::Output(host)).with_priority(1),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "e3",
+            net.install(
+                e,
+                TableId(0),
+                FlowEntry::new(t("0111xxxx"), Action::Output(host)).with_priority(0),
+            )
+            .unwrap(),
+        );
+        (net, ids)
+    }
+
+    fn vertex_of(g: &RuleGraph, ids: &HashMap<&str, EntryId>, name: &str) -> VertexId {
+        g.vertex_of_entry(ids[name]).expect("vertex exists")
+    }
+
+    #[test]
+    fn figure3_vertices_and_inputs() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        assert_eq!(g.vertex_count(), 10);
+        // d1's input/output are the paper's worked values.
+        let d1 = g.vertex(vertex_of(&g, &ids, "d1"));
+        assert!(d1.input.contains_ternary(&t("000xxxxx")));
+        assert!(d1.output.contains_ternary(&t("0111xxxx")));
+        // c2's input excludes c1's match.
+        let c2 = g.vertex(vertex_of(&g, &ids, "c2"));
+        assert!(!c2.input.contains_ternary(&t("00100xxx")));
+        assert!(c2.input.contains_ternary(&t("0011xxxx")));
+    }
+
+    #[test]
+    fn figure3_step1_edges_match_paper() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let v = |n: &str| vertex_of(&g, &ids, n);
+        let has = |a: &str, b: &str| g.successors(v(a)).contains(&v(b));
+        // Edges the paper draws in Figure 3.
+        assert!(has("a1", "b1"), "a1->b1");
+        assert!(has("b1", "c1"), "b1->c1");
+        assert!(has("b1", "c2"), "b1->c2");
+        assert!(has("b2", "c2"), "b2->c2 (worked example)");
+        assert!(has("b3", "d1"), "b3->d1");
+        assert!(has("c1", "e1"), "c1->e1");
+        assert!(has("c2", "e1"), "c2->e1");
+        assert!(has("c2", "e2"), "c2->e2");
+        assert!(has("d1", "e3"), "d1->e3");
+        // Edges the paper rules out.
+        assert!(!has("c1", "e2"), "no c1->e2 (worked example)");
+        assert!(!has("b2", "c1"), "b2 cannot reach c1 (disjoint)");
+        assert!(!has("a1", "b2"), "a1 output disjoint from b2");
+        assert!(!has("a1", "b3"), "a1 shadowed at b3 by b1? no: different switch — b3 match 000 disjoint from 00101");
+        assert!(!has("d1", "e1"), "d1 output 0111 disjoint from e1");
+        assert!(!has("d1", "e2"), "d1 output 0111 disjoint from e2");
+    }
+
+    #[test]
+    fn figure3_closure_adds_b2_e2() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let v = |n: &str| vertex_of(&g, &ids, n);
+        // Figure 4's red closure edges.
+        assert!(g.has_closure_edge(v("b2"), v("e2")), "b2=>e2 legal closure");
+        assert!(g.has_closure_edge(v("a1"), v("c2")), "a1=>c2");
+        assert!(g.has_closure_edge(v("a1"), v("e1")), "a1=>e1");
+        assert!(g.has_closure_edge(v("b3"), v("e3")), "b3=>e3");
+        // a1's packets (00101xxx) never reach e2 (they match e1 first).
+        assert!(!g.has_closure_edge(v("a1"), v("e2")), "a1 cannot reach e2");
+        // b2 cannot reach e1: its packets are 0011xxxx, e1 wants 0010xxxx.
+        assert!(!g.has_closure_edge(v("b2"), v("e1")));
+    }
+
+    #[test]
+    fn figure3_path_header_spaces() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let v = |n: &str| vertex_of(&g, &ids, n);
+        // Paper: HS(a1->b1->c2->e1) = 00101xxx.
+        let hs = g.path_header_space(&[v("a1"), v("b1"), v("c2"), v("e1")]);
+        assert!(hs.contains_ternary(&t("00101xxx")));
+        assert_eq!(hs.exact_count(), 8);
+        // Paper: MPC path a1->b1->c1->e1 is illegal.
+        assert!(!g.is_real_path_legal(&[v("a1"), v("b1"), v("c1"), v("e1")]));
+        // b2->c2->e2 legal with 0011xxxx.
+        let hs = g.path_header_space(&[v("b2"), v("c2"), v("e2")]);
+        assert!(hs.contains_ternary(&t("0011xxxx")));
+    }
+
+    #[test]
+    fn figure3_expand_cover_path() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let v = |n: &str| vertex_of(&g, &ids, n);
+        // Paper: b2 => e2 expands to b2 -> c2 -> e2.
+        let (real, hs) = g.expand_cover_path(&[v("b2"), v("e2")]).expect("legal");
+        assert_eq!(real, vec![v("b2"), v("c2"), v("e2")]);
+        assert!(hs.contains_ternary(&t("0011xxxx")));
+        // Composed cover path across a closure edge plus direct edges.
+        let (real, hs) = g
+            .expand_cover_path(&[v("a1"), v("c2"), v("e1")])
+            .expect("legal");
+        assert_eq!(real, vec![v("a1"), v("b1"), v("c2"), v("e1")]);
+        assert!(hs.contains_ternary(&t("00101xxx")));
+        // An illegal composition: a1 ... e2 never works.
+        assert!(g.expand_cover_path(&[v("a1"), v("e2")]).is_none());
+    }
+
+    #[test]
+    fn path_header_space_with_set_field_rewrite() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let v = |n: &str| vertex_of(&g, &ids, n);
+        // b3 -> d1 -> e3: d1 rewrites 000xxxxx to 0111xxxx which matches
+        // e3. Entry headers are 000xxxxx.
+        let hs = g.path_header_space(&[v("b3"), v("d1"), v("e3")]);
+        assert!(hs.contains_ternary(&t("000xxxxx")));
+        assert_eq!(hs.exact_count(), 32);
+    }
+
+    #[test]
+    fn policy_loop_is_rejected() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        for s in [0usize, 1] {
+            let p = net
+                .topology()
+                .port_towards(SwitchId(s), SwitchId(1 - s))
+                .unwrap();
+            net.install(
+                SwitchId(s),
+                TableId(0),
+                FlowEntry::new(t("xxxxxxxx"), Action::Output(p)),
+            )
+            .unwrap();
+        }
+        match RuleGraph::from_network(&net) {
+            Err(RuleGraphError::PolicyLoop { cycle }) => assert_eq!(cycle.len(), 2),
+            other => panic!("expected PolicyLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        let net = Network::new(Topology::new(2));
+        assert!(matches!(
+            RuleGraph::from_network(&net),
+            Err(RuleGraphError::NoForwardingRules)
+        ));
+    }
+
+    #[test]
+    fn shadowed_rules_have_no_edges() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        // Low-priority rule entirely shadowed by a high-priority one.
+        let shadowed = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new(t("00xxxxxx"), Action::Output(p)),
+            )
+            .unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("0xxxxxxx"), Action::Output(p)).with_priority(9),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("xxxxxxxx"), Action::Output(PortId(50))),
+        )
+        .unwrap();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let sv = g.vertex_of_entry(shadowed).unwrap();
+        assert!(g.vertex(sv).is_shadowed());
+        assert!(g.successors(sv).is_empty());
+    }
+
+    #[test]
+    fn non_forwarding_entries_shadow_but_add_no_vertex() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let fwd = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new(t("00xxxxxx"), Action::Output(p)),
+            )
+            .unwrap();
+        // High-priority drop carves a hole in fwd's input.
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("000xxxxx"), Action::Drop).with_priority(5),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("xxxxxxxx"), Action::Output(PortId(50))),
+        )
+        .unwrap();
+        let g = RuleGraph::from_network(&net).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        let v = g.vertex(g.vertex_of_entry(fwd).unwrap());
+        assert!(!v.input.contains_ternary(&t("000xxxxx")));
+        assert!(v.input.contains_ternary(&t("001xxxxx")));
+    }
+
+    #[test]
+    fn figure3_stats() {
+        let (net, _) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let stats = g.legal_path_stats();
+        // Longest chain: a1 -> b1 -> c? -> e? = 4 rules.
+        assert_eq!(stats.max_len, 4);
+        assert!(stats.total_paths >= 4.0);
+        assert!(stats.avg_len > 1.0 && stats.avg_len <= 4.0);
+    }
+
+    #[test]
+    fn chain_matches_definition() {
+        let (net, ids) = figure3();
+        let g = RuleGraph::from_network(&net).unwrap();
+        let v = |n: &str| vertex_of(&g, &ids, n);
+        let full = HeaderSet::full(8);
+        let after_b2 = g.chain(&full, v("b2"));
+        assert!(after_b2.contains_ternary(&t("0011xxxx")));
+        let after_c2 = g.chain(&after_b2, v("c2"));
+        assert!(after_c2.contains_ternary(&t("0011xxxx")));
+        let after_e1 = g.chain(&after_c2, v("e1"));
+        assert!(after_e1.is_empty(), "0011 does not match e1's 0010");
+    }
+}

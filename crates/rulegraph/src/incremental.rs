@@ -1,0 +1,519 @@
+//! Incremental rule-graph maintenance.
+//!
+//! The paper notes that "SDNProbe can update the rule graph incrementally
+//! to reduce overhead" (§VIII-C, detailed only in the unavailable full
+//! report). This module implements that extension: when the controller
+//! installs or removes a flow entry, only the affected parts of the graph
+//! are recomputed —
+//!
+//! 1. the inputs of lower-precedence overlapping rules in the same table
+//!    (their `r.in` shrinks or grows),
+//! 2. step-1 edges incident to those vertices, and
+//! 3. legal-closure sets of every vertex whose reachable region touches
+//!    the change (found by reverse reachability over old and new edges).
+//!
+//! Equivalence with from-scratch construction is enforced by tests.
+
+use std::collections::HashSet;
+
+use sdnprobe_dataplane::{Action, EntryId, EntryLocation, FlowEntry, Network};
+
+use crate::error::RuleGraphError;
+use crate::graph::{effective_inputs, RuleGraph};
+use crate::vertex::{RuleVertex, VertexId};
+
+/// A control-plane change to replay onto an existing [`RuleGraph`].
+#[derive(Debug, Clone)]
+pub enum RuleUpdate {
+    /// `entry` was just installed in the network.
+    Added {
+        /// The new entry's id.
+        entry: EntryId,
+    },
+    /// `entry` was just removed from the network.
+    Removed {
+        /// The removed entry's id.
+        entry: EntryId,
+        /// Its former contents (needed to find which rules it shadowed).
+        old: FlowEntry,
+        /// Where it used to live.
+        location: EntryLocation,
+    },
+}
+
+impl RuleGraph {
+    /// Applies an incremental update, recomputing only affected regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleGraphError::PolicyLoop`] if the update introduces a
+    /// routing loop; the graph is left inconsistent in that case and must
+    /// be rebuilt (the controller should reject the update anyway).
+    /// Returns [`RuleGraphError::UnknownEntry`] for a removal of an entry
+    /// that was never seen.
+    pub fn apply_update(&mut self, net: &Network, update: &RuleUpdate) -> Result<(), RuleGraphError> {
+        let affected = match update {
+            RuleUpdate::Added { entry } => self.apply_added(net, *entry),
+            RuleUpdate::Removed {
+                entry,
+                old,
+                location,
+            } => self.apply_removed(net, *entry, old, *location)?,
+        };
+        // Rebuild edges around the affected vertices.
+        for &v in &affected {
+            self.rebuild_out_edges(v);
+            self.rebuild_in_edges(v);
+        }
+        self.check_acyclic()?;
+        // Closure: recompute every source whose reachable region touches
+        // the change — in the old graph (its closure listed an affected
+        // vertex) or the new one (reverse-reachable from an affected
+        // vertex).
+        let affected_set: HashSet<usize> = affected.iter().map(|v| v.0).collect();
+        let mut sources: HashSet<usize> = affected_set.clone();
+        for u in self.vertex_ids() {
+            if self.closure[u.0].iter().any(|v| affected_set.contains(&v.0)) {
+                sources.insert(u.0);
+            }
+        }
+        let mut stack: Vec<usize> = affected_set.iter().copied().collect();
+        let mut seen = affected_set;
+        while let Some(v) = stack.pop() {
+            for p in &self.step1_rev[v] {
+                if seen.insert(p.0) {
+                    sources.insert(p.0);
+                    stack.push(p.0);
+                }
+            }
+        }
+        let mut ordered: Vec<usize> = sources.into_iter().collect();
+        ordered.sort_unstable();
+        for u in ordered {
+            if self.vertices[u].is_some() {
+                self.rebuild_closure_from(VertexId(u));
+            } else {
+                // Dead vertex: drop any stale closure records.
+                for v in std::mem::take(&mut self.closure[u]) {
+                    self.closure_set.remove(&(u, v.0));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a newly installed entry; returns the affected vertices.
+    fn apply_added(&mut self, net: &Network, entry: EntryId) -> Vec<VertexId> {
+        let loc = net.location(entry).expect("entry was just installed");
+        let new = net.entry(entry).expect("entry was just installed").to_owned();
+        // Forwarding entries get a vertex of their own (spaces are
+        // filled in by the switch-wide recompute below).
+        if let Action::Output(port) = new.action() {
+            self.header_len = new.match_field().len();
+            let id = VertexId(self.vertices.len());
+            self.vertices.push(Some(RuleVertex {
+                entry,
+                switch: loc.switch,
+                table: loc.table,
+                match_field: new.match_field(),
+                set_field: new.set_field(),
+                next_switch: net.topology().peer_of(loc.switch, port),
+                out_port: port,
+                priority: new.priority(),
+                input: sdnprobe_headerspace::HeaderSet::empty(self.header_len),
+                output: sdnprobe_headerspace::HeaderSet::empty(self.header_len),
+            }));
+            self.by_entry.insert(entry, id);
+            self.by_location
+                .entry((loc.switch, loc.table))
+                .or_default()
+                .push(id);
+            self.step1.push(Vec::new());
+            self.step1_rev.push(Vec::new());
+            self.closure.push(Vec::new());
+        }
+        // Any change to a switch's tables can reshape effective inputs
+        // across its whole pipeline (goto chains, shadowing): recompute
+        // every vertex on the switch.
+        self.recompute_switch(net, loc.switch)
+    }
+
+    /// Unregisters a removed entry; returns the affected vertices.
+    fn apply_removed(
+        &mut self,
+        net: &Network,
+        entry: EntryId,
+        old: &FlowEntry,
+        location: EntryLocation,
+    ) -> Result<Vec<VertexId>, RuleGraphError> {
+        let mut affected = Vec::new();
+        if let Some(dead) = self.by_entry.remove(&entry) {
+            // Detach all step-1 edges of the dead vertex.
+            for v in std::mem::take(&mut self.step1[dead.0]) {
+                self.step1_rev[v.0].retain(|&x| x != dead);
+            }
+            for p in std::mem::take(&mut self.step1_rev[dead.0]) {
+                self.step1[p.0].retain(|&x| x != dead);
+                if !affected.contains(&p) {
+                    affected.push(p);
+                }
+            }
+            for v in std::mem::take(&mut self.closure[dead.0]) {
+                self.closure_set.remove(&(dead.0, v.0));
+            }
+            if let Some(list) = self.by_location.get_mut(&(location.switch, location.table)) {
+                list.retain(|&x| x != dead);
+            }
+            self.vertices[dead.0] = None;
+        } else if matches!(old.action(), Action::Output(_)) {
+            return Err(RuleGraphError::UnknownEntry(entry));
+        }
+        for v in self.recompute_switch(net, location.switch) {
+            if !affected.contains(&v) {
+                affected.push(v);
+            }
+        }
+        Ok(affected)
+    }
+
+    /// Recomputes effective inputs for every live vertex on a switch;
+    /// returns them as the affected set.
+    fn recompute_switch(&mut self, net: &Network, switch: sdnprobe_topology::SwitchId) -> Vec<VertexId> {
+        let inputs = effective_inputs(net, switch)
+            // Goto set fields are rejected at construction; a policy that
+            // acquires one mid-flight is surfaced on the next rebuild.
+            .unwrap_or_default();
+        let ids: Vec<VertexId> = self
+            .by_location
+            .iter()
+            .filter(|((s, _), _)| *s == switch)
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect();
+        let mut affected = Vec::new();
+        for v in ids {
+            let Some(vert) = self.vertices[v.0].as_mut() else {
+                continue;
+            };
+            let input = inputs
+                .get(&vert.entry)
+                .cloned()
+                .unwrap_or_else(|| sdnprobe_headerspace::HeaderSet::empty(vert.match_field.len()));
+            vert.output = input.apply_set_field(&vert.set_field);
+            vert.input = input;
+            affected.push(v);
+        }
+        affected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+    use sdnprobe_headerspace::Ternary;
+    use sdnprobe_topology::{PortId, SwitchId, Topology};
+
+    /// Canonical form for comparing two graphs built differently:
+    /// entry-id keyed vertex spaces and edge sets.
+    fn fingerprint(
+        g: &RuleGraph,
+    ) -> (
+        BTreeSet<(u64, String, String)>,
+        BTreeSet<(u64, u64)>,
+        BTreeSet<(u64, u64)>,
+    ) {
+        let verts = g
+            .vertex_ids()
+            .map(|v| {
+                let vert = g.vertex(v);
+                (
+                    vert.entry.0,
+                    format!("{}", vert.input),
+                    format!("{}", vert.output),
+                )
+            })
+            .collect();
+        let step1 = g
+            .vertex_ids()
+            .flat_map(|u| {
+                g.successors(u)
+                    .iter()
+                    .map(move |&v| (g.vertex(u).entry.0, g.vertex(v).entry.0))
+            })
+            .collect();
+        let closure = g
+            .vertex_ids()
+            .flat_map(|u| {
+                g.closure_successors(u)
+                    .iter()
+                    .map(move |&v| (g.vertex(u).entry.0, g.vertex(v).entry.0))
+            })
+            .collect();
+        (verts, step1, closure)
+    }
+
+    fn random_entry(rng: &mut StdRng, net: &Network, s: SwitchId) -> FlowEntry {
+        // Random prefix match over 8 bits.
+        let plen = rng.gen_range(0..=6);
+        let addr = rng.gen::<u8>() as u128;
+        let m = Ternary::prefix(addr, plen, 8);
+        // Forward to a random neighbour (forward in id order keeps the
+        // policy acyclic) or out of the network.
+        let neighbors: Vec<PortId> = net
+            .topology()
+            .neighbors(s)
+            .iter()
+            .filter(|n| n.peer.0 > s.0)
+            .map(|n| n.port)
+            .collect();
+        let action = if neighbors.is_empty() || rng.gen_bool(0.3) {
+            Action::Output(PortId(40 + rng.gen_range(0..4))) // host egress
+        } else {
+            Action::Output(neighbors[rng.gen_range(0..neighbors.len())])
+        };
+        let mut e = FlowEntry::new(m, action).with_priority(rng.gen_range(0..5));
+        if rng.gen_bool(0.2) {
+            let set = Ternary::prefix(rng.gen::<u8>() as u128, rng.gen_range(0..3), 8);
+            e = e.with_set_field(set);
+        }
+        e
+    }
+
+    #[test]
+    fn incremental_matches_scratch_over_random_update_sequences() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..25 {
+            let mut topo = Topology::new(4);
+            topo.add_link(SwitchId(0), SwitchId(1));
+            topo.add_link(SwitchId(1), SwitchId(2));
+            topo.add_link(SwitchId(2), SwitchId(3));
+            topo.add_link(SwitchId(0), SwitchId(2));
+            let mut net = Network::new(topo);
+            // Seed with a few entries so the initial graph is non-trivial.
+            let mut installed: Vec<EntryId> = Vec::new();
+            for _ in 0..6 {
+                let s = SwitchId(rng.gen_range(0..4));
+                let e = random_entry(&mut rng, &net, s);
+                installed.push(net.install(s, TableId(0), e).unwrap());
+            }
+            let Ok(mut incremental) = RuleGraph::from_network(&net) else {
+                continue;
+            };
+            // Random add/remove sequence, checking equivalence after each.
+            for step in 0..10 {
+                if installed.len() > 2 && rng.gen_bool(0.4) {
+                    let idx = rng.gen_range(0..installed.len());
+                    let id = installed.swap_remove(idx);
+                    let location = net.location(id).unwrap();
+                    let old = net.remove(id).unwrap();
+                    incremental
+                        .apply_update(&net, &RuleUpdate::Removed { entry: id, old, location })
+                        .unwrap();
+                } else {
+                    let s = SwitchId(rng.gen_range(0..4));
+                    let e = random_entry(&mut rng, &net, s);
+                    let id = net.install(s, TableId(0), e).unwrap();
+                    installed.push(id);
+                    incremental
+                        .apply_update(&net, &RuleUpdate::Added { entry: id })
+                        .unwrap();
+                }
+                match RuleGraph::from_network(&net) {
+                    Ok(scratch) => assert_eq!(
+                        fingerprint(&incremental),
+                        fingerprint(&scratch),
+                        "divergence at round {round} step {step}"
+                    ),
+                    Err(RuleGraphError::NoForwardingRules) => {
+                        assert_eq!(incremental.vertex_count(), 0);
+                    }
+                    Err(e) => panic!("unexpected scratch error {e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_scratch_on_multitable_pipelines() {
+        // Random two-table pipelines: ACL drops + goto in table 0,
+        // forwarding in table 1; adds/removes replayed incrementally
+        // must match from-scratch construction.
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..15 {
+            let mut topo = Topology::new(3);
+            topo.add_link(SwitchId(0), SwitchId(1));
+            topo.add_link(SwitchId(1), SwitchId(2));
+            let mut net = Network::new(topo);
+            let mut t1 = Vec::new();
+            for s in 0..3 {
+                let t = net.add_table(SwitchId(s)).unwrap();
+                t1.push(t);
+                net.install(
+                    SwitchId(s),
+                    TableId(0),
+                    FlowEntry::new(Ternary::wildcard(8), Action::GotoTable(t)),
+                )
+                .unwrap();
+            }
+            let mut installed: Vec<EntryId> = Vec::new();
+            let install_random = |net: &mut Network, rng: &mut StdRng| -> EntryId {
+                let s = rng.gen_range(0..3usize);
+                let m = Ternary::prefix(rng.gen::<u8>() as u128, rng.gen_range(0..=4), 8);
+                if rng.gen_bool(0.3) {
+                    // An ACL drop in table 0, above the goto.
+                    net.install(
+                        SwitchId(s),
+                        TableId(0),
+                        FlowEntry::new(m, Action::Drop).with_priority(rng.gen_range(1..5)),
+                    )
+                    .unwrap()
+                } else {
+                    let action = if s < 2 && rng.gen_bool(0.7) {
+                        Action::Output(
+                            net.topology()
+                                .port_towards(SwitchId(s), SwitchId(s + 1))
+                                .unwrap(),
+                        )
+                    } else {
+                        Action::Output(PortId(40))
+                    };
+                    net.install(
+                        SwitchId(s),
+                        t1[s],
+                        FlowEntry::new(m, action).with_priority(rng.gen_range(0..4)),
+                    )
+                    .unwrap()
+                }
+            };
+            for _ in 0..5 {
+                installed.push(install_random(&mut net, &mut rng));
+            }
+            let Ok(mut incremental) = RuleGraph::from_network(&net) else {
+                continue;
+            };
+            for step in 0..8 {
+                if installed.len() > 2 && rng.gen_bool(0.4) {
+                    let idx = rng.gen_range(0..installed.len());
+                    let id = installed.swap_remove(idx);
+                    let location = net.location(id).unwrap();
+                    let old = net.remove(id).unwrap();
+                    incremental
+                        .apply_update(&net, &RuleUpdate::Removed { entry: id, old, location })
+                        .unwrap();
+                } else {
+                    let id = install_random(&mut net, &mut rng);
+                    installed.push(id);
+                    incremental
+                        .apply_update(&net, &RuleUpdate::Added { entry: id })
+                        .unwrap();
+                }
+                match RuleGraph::from_network(&net) {
+                    Ok(scratch) => assert_eq!(
+                        fingerprint(&incremental),
+                        fingerprint(&scratch),
+                        "pipeline divergence at round {round} step {step}"
+                    ),
+                    Err(RuleGraphError::NoForwardingRules) => {
+                        assert_eq!(incremental.vertex_count(), 0);
+                    }
+                    Err(e) => panic!("unexpected scratch error {e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn added_drop_rule_shrinks_inputs() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let fwd = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new("00xxxxxx".parse().unwrap(), Action::Output(p)),
+            )
+            .unwrap();
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new("xxxxxxxx".parse().unwrap(), Action::Output(PortId(50))),
+        )
+        .unwrap();
+        let mut g = RuleGraph::from_network(&net).unwrap();
+        let before = g.vertex(g.vertex_of_entry(fwd).unwrap()).input.clone();
+        assert!(before.contains_ternary(&"000xxxxx".parse().unwrap()));
+        // Install a shadowing drop rule and replay.
+        let drop = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new("000xxxxx".parse().unwrap(), Action::Drop).with_priority(5),
+            )
+            .unwrap();
+        g.apply_update(&net, &RuleUpdate::Added { entry: drop }).unwrap();
+        let after = &g.vertex(g.vertex_of_entry(fwd).unwrap()).input;
+        assert!(!after.contains_ternary(&"000xxxxx".parse().unwrap()));
+        assert_eq!(g.vertex_count(), 2, "drop rule adds no vertex");
+    }
+
+    #[test]
+    fn removal_of_unknown_forwarding_entry_errors() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let id = net
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new("0xxxxxxx".parse().unwrap(), Action::Output(p)),
+            )
+            .unwrap();
+        let mut g = RuleGraph::from_network(&net).unwrap();
+        let location = net.location(id).unwrap();
+        let old = net.remove(id).unwrap();
+        // Replaying a removal of an entry the graph never saw.
+        let bogus = RuleUpdate::Removed {
+            entry: EntryId(555),
+            old,
+            location,
+        };
+        assert!(matches!(
+            g.apply_update(&net, &bogus),
+            Err(RuleGraphError::UnknownEntry(_))
+        ));
+    }
+
+    #[test]
+    fn update_introducing_loop_is_detected() {
+        let mut topo = Topology::new(2);
+        topo.add_link(SwitchId(0), SwitchId(1));
+        let mut net = Network::new(topo);
+        let p01 = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p10 = net.topology().port_towards(SwitchId(1), SwitchId(0)).unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new("xxxxxxxx".parse().unwrap(), Action::Output(p01)),
+        )
+        .unwrap();
+        let mut g = RuleGraph::from_network(&net).unwrap();
+        let back = net
+            .install(
+                SwitchId(1),
+                TableId(0),
+                FlowEntry::new("xxxxxxxx".parse().unwrap(), Action::Output(p10)),
+            )
+            .unwrap();
+        assert!(matches!(
+            g.apply_update(&net, &RuleUpdate::Added { entry: back }),
+            Err(RuleGraphError::PolicyLoop { .. })
+        ));
+    }
+}

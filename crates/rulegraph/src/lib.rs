@@ -1,0 +1,47 @@
+//! Rule-graph construction for SDNProbe (§V-A of the paper).
+//!
+//! Builds the directed acyclic *rule graph* over a network's forwarding
+//! flow entries: per-rule input/output header spaces with overlapping
+//! rules resolved at construction, step-1 edges between compatible rules
+//! on adjacent switches, and the *legal transitive closure* — an edge
+//! `(u, v)` for every pair connected by a path some concrete packet can
+//! actually traverse. Also provides the legality utilities the MLPC
+//! solver needs (path header spaces, cover-path expansion) and
+//! incremental maintenance under rule installs/removals.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+//! use sdnprobe_rulegraph::RuleGraph;
+//! use sdnprobe_topology::{PortId, SwitchId, Topology};
+//!
+//! let mut topo = Topology::new(2);
+//! topo.add_link(SwitchId(0), SwitchId(1));
+//! let mut net = Network::new(topo);
+//! let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+//! net.install(SwitchId(0), TableId(0),
+//!     FlowEntry::new("00xxxxxx".parse()?, Action::Output(p)))?;
+//! net.install(SwitchId(1), TableId(0),
+//!     FlowEntry::new("0xxxxxxx".parse()?, Action::Output(PortId(50))))?;
+//! let graph = RuleGraph::from_network(&net)?;
+//! assert_eq!(graph.vertex_count(), 2);
+//! assert_eq!(graph.closure_edge_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod diagnostics;
+mod error;
+mod graph;
+mod incremental;
+mod vertex;
+
+pub use diagnostics::{Diagnostics, Finding};
+pub use error::RuleGraphError;
+pub use graph::{LegalPathStats, RuleGraph};
+pub use incremental::RuleUpdate;
+pub use vertex::{RuleVertex, VertexId};

@@ -1,0 +1,402 @@
+//! Topology generators.
+//!
+//! The SDNProbe evaluation uses "a randomly-generated topology ...
+//! sampled \[from\] the router-level topology from the Rocketfuel dataset"
+//! (§VIII). The dataset itself is not redistributable, so
+//! [`rocketfuel_like`] synthesizes topologies with the same observable
+//! shape (heavy-tailed degree distribution, sparse backbone,
+//! `links ≈ 1.5–2× switches` as in the paper's Table II settings). All
+//! generators are deterministic under a seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{SwitchId, Topology};
+
+/// A path graph `s0 - s1 - ... - s(n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(n: usize) -> Topology {
+    assert!(n > 0, "line topology needs at least one switch");
+    let mut t = Topology::new(n);
+    for i in 0..n - 1 {
+        t.add_link(SwitchId(i), SwitchId(i + 1));
+    }
+    t
+}
+
+/// A cycle over `n >= 3` switches.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "ring topology needs at least three switches");
+    let mut t = line(n);
+    t.add_link(SwitchId(n - 1), SwitchId(0));
+    t
+}
+
+/// A star: switch 0 at the centre, all others leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2, "star topology needs at least two switches");
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.add_link(SwitchId(0), SwitchId(i));
+    }
+    t
+}
+
+/// A `w × h` grid (mesh) topology.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> Topology {
+    assert!(w > 0 && h > 0, "grid dimensions must be positive");
+    let mut t = Topology::new(w * h);
+    let id = |x: usize, y: usize| SwitchId(y * w + x);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                t.add_link(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                t.add_link(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    t
+}
+
+/// A Rocketfuel-like router-level topology: connected, heavy-tailed
+/// degrees, with exactly `links` links (when achievable without parallel
+/// links).
+///
+/// Construction: a random spanning tree grown with preferential
+/// attachment (new switches prefer high-degree attachment points, giving
+/// the heavy tail observed in ISP maps), then extra links added between
+/// degree-biased endpoint pairs until `links` is reached.
+///
+/// # Panics
+///
+/// Panics if `switches == 0` or `links < switches - 1` or `links`
+/// exceeds the simple-graph maximum `switches * (switches-1) / 2`.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_topology::generate::rocketfuel_like;
+///
+/// // Table II, topology 4/5 setting: 79 switches, 147 links.
+/// let topo = rocketfuel_like(79, 147, 7);
+/// assert_eq!(topo.switch_count(), 79);
+/// assert_eq!(topo.link_count(), 147);
+/// assert!(topo.is_connected());
+/// ```
+pub fn rocketfuel_like(switches: usize, links: usize, seed: u64) -> Topology {
+    assert!(switches > 0, "need at least one switch");
+    assert!(
+        switches == 1 || links >= switches - 1,
+        "need at least switches-1 links for connectivity"
+    );
+    assert!(
+        links <= switches * (switches - 1) / 2,
+        "too many links for a simple graph on {switches} switches"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new(switches);
+    if switches == 1 {
+        return t;
+    }
+    // Preferential-attachment spanning tree: endpoints list holds each
+    // switch once per incident link, so sampling from it is degree-biased.
+    let mut endpoints: Vec<SwitchId> = vec![SwitchId(0)];
+    let mut order: Vec<usize> = (1..switches).collect();
+    order.shuffle(&mut rng);
+    for &i in &order {
+        let attach = *endpoints.choose(&mut rng).expect("non-empty endpoints");
+        t.add_link(SwitchId(i), attach);
+        endpoints.push(SwitchId(i));
+        endpoints.push(attach);
+    }
+    // Extra links, degree-biased, until the target is met.
+    let mut guard = 0usize;
+    while t.link_count() < links {
+        let a = *endpoints.choose(&mut rng).expect("non-empty");
+        let b = SwitchId(rng.gen_range(0..switches));
+        guard += 1;
+        if a != b && !t.has_link(a, b) {
+            t.add_link(a, b);
+            endpoints.push(a);
+            endpoints.push(b);
+        } else if guard > links * 100 {
+            // Dense corner case: fall back to scanning for any free pair.
+            'scan: for i in 0..switches {
+                for j in i + 1..switches {
+                    if !t.has_link(SwitchId(i), SwitchId(j)) {
+                        t.add_link(SwitchId(i), SwitchId(j));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+/// A Waxman random graph: switches at random plane positions, link
+/// probability decaying with distance; retried with extra links until
+/// connected.
+///
+/// `alpha` scales overall density, `beta` the distance decay (both in
+/// `(0, 1]`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the parameters are outside `(0, 1]`.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
+    assert!(n > 0, "need at least one switch");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+    assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let max_dist = 2f64.sqrt();
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+            let p = alpha * (-d / (beta * max_dist)).exp();
+            if rng.gen::<f64>() < p {
+                t.add_link(SwitchId(i), SwitchId(j));
+            }
+        }
+    }
+    // Stitch disconnected components together deterministically.
+    while !t.is_connected() {
+        let comp = component_of(&t, SwitchId(0));
+        let outside = t
+            .switches()
+            .find(|s| !comp.contains(&s.0))
+            .expect("disconnected graph has an outside switch");
+        let inside = SwitchId(*comp.iter().min().expect("non-empty component"));
+        t.add_link(inside, outside);
+    }
+    t
+}
+
+fn component_of(t: &Topology, start: SwitchId) -> std::collections::HashSet<usize> {
+    let mut seen = std::collections::HashSet::from([start.0]);
+    let mut stack = vec![start];
+    while let Some(s) = stack.pop() {
+        for n in t.neighbors(s) {
+            if seen.insert(n.peer.0) {
+                stack.push(n.peer);
+            }
+        }
+    }
+    seen
+}
+
+/// A three-layer k-ary fat tree (k even): `k²/4` core switches, `k`
+/// pods of `k/2` aggregation and `k/2` edge switches each — the
+/// canonical data-centre topology.
+///
+/// Switch ids: core first (`k²/4`), then per pod aggregation (`k/2`)
+/// followed by edge (`k/2`).
+///
+/// # Panics
+///
+/// Panics if `k` is odd or less than 2.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_topology::generate::fat_tree;
+///
+/// let t = fat_tree(4);
+/// assert_eq!(t.switch_count(), 4 + 16); // 4 core + 4 pods x 4
+/// assert!(t.is_connected());
+/// ```
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even and >= 2");
+    let half = k / 2;
+    let cores = half * half;
+    let switches = cores + k * k; // k pods x (k/2 agg + k/2 edge)
+    let mut t = Topology::new(switches);
+    let agg = |pod: usize, i: usize| SwitchId(cores + pod * k + i);
+    let edge = |pod: usize, i: usize| SwitchId(cores + pod * k + half + i);
+    for pod in 0..k {
+        for a in 0..half {
+            // Aggregation a connects to cores [a*half, (a+1)*half).
+            for c in 0..half {
+                t.add_link(agg(pod, a), SwitchId(a * half + c));
+            }
+            // And to every edge switch in its pod.
+            for e in 0..half {
+                t.add_link(agg(pod, a), edge(pod, e));
+            }
+        }
+    }
+    t
+}
+
+/// A Jellyfish topology: a random `degree`-regular graph over `n`
+/// switches (degree sum must be even), built by random pairing with
+/// local rewiring; always connected.
+///
+/// # Panics
+///
+/// Panics if `degree >= n`, `n * degree` is odd, or `n == 0`.
+pub fn jellyfish(n: usize, degree: usize, seed: u64) -> Topology {
+    assert!(n > 0, "need at least one switch");
+    assert!(degree < n, "degree must be below the switch count");
+    assert!(n * degree % 2 == 0, "n * degree must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let mut t = Topology::new(n);
+        // Stub pairing: each switch appears `degree` times.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat(i).take(degree)).collect();
+        stubs.shuffle(&mut rng);
+        let mut ok = true;
+        while stubs.len() >= 2 {
+            let a = stubs.pop().expect("non-empty");
+            // Find a partner that is neither `a` nor already adjacent.
+            match stubs
+                .iter()
+                .rposition(|&b| b != a && !t.has_link(SwitchId(a), SwitchId(b)))
+            {
+                Some(pos) => {
+                    let b = stubs.swap_remove(pos);
+                    t.add_link(SwitchId(a), SwitchId(b));
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && t.is_connected() {
+            return t;
+        }
+        // Rare dead end: redraw with fresh randomness.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_ring_star_shapes() {
+        assert_eq!(line(4).link_count(), 3);
+        assert_eq!(ring(4).link_count(), 4);
+        assert_eq!(star(5).link_count(), 4);
+        assert_eq!(star(5).port_count(SwitchId(0)), 4);
+        assert!(line(1).is_connected());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 2);
+        assert_eq!(g.switch_count(), 6);
+        // 3x2 grid: horizontal 2*2=4, vertical 3*1=3.
+        assert_eq!(g.link_count(), 7);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn rocketfuel_like_meets_spec() {
+        for (s, l) in [(10, 15), (30, 54), (79, 147)] {
+            let t = rocketfuel_like(s, l, 42);
+            assert_eq!(t.switch_count(), s);
+            assert_eq!(t.link_count(), l);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn rocketfuel_like_is_deterministic() {
+        let a = rocketfuel_like(30, 54, 1);
+        let b = rocketfuel_like(30, 54, 1);
+        assert_eq!(a, b);
+        let c = rocketfuel_like(30, 54, 2);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn rocketfuel_like_heavy_tail() {
+        let t = rocketfuel_like(100, 180, 3);
+        let degrees = t.degree_sequence();
+        // Heavy tail: the max degree is well above the average (3.6).
+        assert!(degrees[0] >= 8, "expected a hub, got max degree {}", degrees[0]);
+    }
+
+    #[test]
+    fn rocketfuel_like_tree_edge_case() {
+        let t = rocketfuel_like(10, 9, 5);
+        assert_eq!(t.link_count(), 9);
+        assert!(t.is_connected());
+        let t1 = rocketfuel_like(1, 0, 5);
+        assert_eq!(t1.switch_count(), 1);
+    }
+
+    #[test]
+    fn rocketfuel_like_dense_corner() {
+        // Nearly complete graph forces the scan fallback.
+        let t = rocketfuel_like(6, 15, 9);
+        assert_eq!(t.link_count(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many links")]
+    fn rocketfuel_like_rejects_impossible() {
+        rocketfuel_like(4, 7, 0);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let t = fat_tree(4);
+        assert_eq!(t.switch_count(), 20);
+        // Each aggregation switch: k/2 core + k/2 edge links = 4.
+        // Total links: k pods * k/2 agg * k = 4*2*4 = 32.
+        assert_eq!(t.link_count(), 32);
+        assert!(t.is_connected());
+        // Core switches have degree k (one per pod).
+        assert_eq!(t.port_count(SwitchId(0)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_rejects_odd_arity() {
+        fat_tree(3);
+    }
+
+    #[test]
+    fn jellyfish_is_regular_and_connected() {
+        let t = jellyfish(20, 4, 9);
+        assert_eq!(t.switch_count(), 20);
+        assert_eq!(t.link_count(), 20 * 4 / 2);
+        assert!(t.is_connected());
+        for s in t.switches() {
+            assert_eq!(t.port_count(s), 4, "degree regular at {s}");
+        }
+        // Deterministic under seed.
+        assert_eq!(jellyfish(20, 4, 9), t);
+    }
+
+    #[test]
+    fn waxman_connected_and_deterministic() {
+        let a = waxman(40, 0.6, 0.4, 11);
+        let b = waxman(40, 0.6, 0.4, 11);
+        assert!(a.is_connected());
+        assert_eq!(a, b);
+    }
+}

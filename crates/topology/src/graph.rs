@@ -1,0 +1,318 @@
+//! Switch-level network topology.
+//!
+//! A [`Topology`] is an undirected multigraph of switches connected by
+//! links. Every link endpoint occupies a dedicated *port* on its switch,
+//! mirroring OpenFlow's `output:<port>` semantics: a flow entry forwards
+//! to a port, and the topology resolves which neighbouring switch that
+//! port reaches.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a switch within a [`Topology`] (dense, zero-based).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub usize);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a port on a specific switch (dense, zero-based per
+/// switch).
+///
+/// Port 0..n are link ports; see [`Topology::add_link`]. The data plane
+/// reserves additional virtual ports (e.g. the controller port) above
+/// [`Topology::port_count`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One endpoint-resolved adjacency record: the local port and the switch
+/// it connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The local port the link occupies.
+    pub port: PortId,
+    /// The switch on the other end.
+    pub peer: SwitchId,
+    /// The peer's port on the same link.
+    pub peer_port: PortId,
+}
+
+/// An undirected link between two switch ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint switch.
+    pub a: SwitchId,
+    /// Port on `a`.
+    pub a_port: PortId,
+    /// Second endpoint switch.
+    pub b: SwitchId,
+    /// Port on `b`.
+    pub b_port: PortId,
+}
+
+/// A switch-level topology: switches, ports, and undirected links.
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_topology::{SwitchId, Topology};
+///
+/// let mut topo = Topology::new(3);
+/// topo.add_link(SwitchId(0), SwitchId(1));
+/// topo.add_link(SwitchId(1), SwitchId(2));
+/// assert_eq!(topo.link_count(), 2);
+/// assert!(topo.is_connected());
+/// let port = topo.port_towards(SwitchId(0), SwitchId(1)).unwrap();
+/// assert_eq!(topo.peer_of(SwitchId(0), port).unwrap(), SwitchId(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    switch_count: usize,
+    links: Vec<Link>,
+    neighbors: Vec<Vec<Neighbor>>,
+}
+
+impl Topology {
+    /// Creates a topology with `switch_count` switches and no links.
+    pub fn new(switch_count: usize) -> Self {
+        Self {
+            switch_count,
+            links: Vec::new(),
+            neighbors: vec![Vec::new(); switch_count],
+        }
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switch_count
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All switch ids.
+    pub fn switches(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.switch_count).map(SwitchId)
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Adds an undirected link between two switches, allocating the next
+    /// free port on each side. Returns the created link.
+    ///
+    /// Parallel links and repeated calls are permitted (each gets its own
+    /// ports); self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either switch id is out of range or `a == b`.
+    pub fn add_link(&mut self, a: SwitchId, b: SwitchId) -> Link {
+        assert!(a.0 < self.switch_count, "switch {a} out of range");
+        assert!(b.0 < self.switch_count, "switch {b} out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        let a_port = PortId(self.neighbors[a.0].len() as u32);
+        let b_port = PortId(self.neighbors[b.0].len() as u32);
+        let link = Link {
+            a,
+            a_port,
+            b,
+            b_port,
+        };
+        self.neighbors[a.0].push(Neighbor {
+            port: a_port,
+            peer: b,
+            peer_port: b_port,
+        });
+        self.neighbors[b.0].push(Neighbor {
+            port: b_port,
+            peer: a,
+            peer_port: a_port,
+        });
+        self.links.push(link);
+        link
+    }
+
+    /// True if a direct link between the two switches exists.
+    pub fn has_link(&self, a: SwitchId, b: SwitchId) -> bool {
+        self.neighbors
+            .get(a.0)
+            .is_some_and(|ns| ns.iter().any(|n| n.peer == b))
+    }
+
+    /// Adjacency records of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch id is out of range.
+    pub fn neighbors(&self, s: SwitchId) -> &[Neighbor] {
+        &self.neighbors[s.0]
+    }
+
+    /// Number of link ports on a switch (its degree).
+    pub fn port_count(&self, s: SwitchId) -> u32 {
+        self.neighbors[s.0].len() as u32
+    }
+
+    /// The switch reached from `s` via `port`, or `None` for an
+    /// unconnected port number.
+    pub fn peer_of(&self, s: SwitchId, port: PortId) -> Option<SwitchId> {
+        self.neighbors[s.0]
+            .iter()
+            .find(|n| n.port == port)
+            .map(|n| n.peer)
+    }
+
+    /// A port on `s` that reaches `peer` directly, or `None` if not
+    /// adjacent. With parallel links, returns the first.
+    pub fn port_towards(&self, s: SwitchId, peer: SwitchId) -> Option<PortId> {
+        self.neighbors[s.0]
+            .iter()
+            .find(|n| n.peer == peer)
+            .map(|n| n.port)
+    }
+
+    /// True if every switch can reach every other (ignoring direction).
+    ///
+    /// The empty topology is considered connected.
+    pub fn is_connected(&self) -> bool {
+        if self.switch_count == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.switch_count];
+        let mut stack = vec![SwitchId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(s) = stack.pop() {
+            for n in &self.neighbors[s.0] {
+                if !seen[n.peer.0] {
+                    seen[n.peer.0] = true;
+                    count += 1;
+                    stack.push(n.peer);
+                }
+            }
+        }
+        count == self.switch_count
+    }
+
+    /// Degree sequence, descending (useful for generator tests).
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut degrees: Vec<usize> = self.neighbors.iter().map(Vec::len).collect();
+        degrees.sort_unstable_by(|x, y| y.cmp(x));
+        degrees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new(3);
+        t.add_link(SwitchId(0), SwitchId(1));
+        t.add_link(SwitchId(1), SwitchId(2));
+        t.add_link(SwitchId(2), SwitchId(0));
+        t
+    }
+
+    #[test]
+    fn add_link_allocates_ports_in_order() {
+        let t = triangle();
+        assert_eq!(t.port_count(SwitchId(0)), 2);
+        assert_eq!(t.port_towards(SwitchId(0), SwitchId(1)), Some(PortId(0)));
+        assert_eq!(t.port_towards(SwitchId(0), SwitchId(2)), Some(PortId(1)));
+    }
+
+    #[test]
+    fn peer_resolution_round_trips() {
+        let t = triangle();
+        for s in t.switches() {
+            for n in t.neighbors(s) {
+                assert_eq!(t.peer_of(s, n.port), Some(n.peer));
+                assert_eq!(t.peer_of(n.peer, n.peer_port), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_port_is_none() {
+        let t = triangle();
+        assert_eq!(t.peer_of(SwitchId(0), PortId(99)), None);
+        assert_eq!(t.port_towards(SwitchId(0), SwitchId(0)), None);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let mut t = Topology::new(4);
+        t.add_link(SwitchId(0), SwitchId(1));
+        t.add_link(SwitchId(2), SwitchId(3));
+        assert!(!t.is_connected());
+        assert!(Topology::new(0).is_connected());
+        assert!(Topology::new(1).is_connected());
+        assert!(!Topology::new(2).is_connected());
+    }
+
+    #[test]
+    fn parallel_links_get_distinct_ports() {
+        let mut t = Topology::new(2);
+        let l1 = t.add_link(SwitchId(0), SwitchId(1));
+        let l2 = t.add_link(SwitchId(0), SwitchId(1));
+        assert_ne!(l1.a_port, l2.a_port);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.port_count(SwitchId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Topology::new(2).add_link(SwitchId(1), SwitchId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_switch_panics() {
+        Topology::new(2).add_link(SwitchId(0), SwitchId(5));
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let mut t = Topology::new(4);
+        t.add_link(SwitchId(0), SwitchId(1));
+        t.add_link(SwitchId(0), SwitchId(2));
+        t.add_link(SwitchId(0), SwitchId(3));
+        assert_eq!(t.degree_sequence(), vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SwitchId(3).to_string(), "s3");
+        assert_eq!(PortId(1).to_string(), "p1");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for topology generators: every generator must produce
+//! graphs with its advertised shape across its parameter space.
+
+use proptest::prelude::*;
+use sdnprobe_topology::generate::{
+    fat_tree, grid, jellyfish, line, ring, rocketfuel_like, star, waxman,
+};
+use sdnprobe_topology::SwitchId;
+
+proptest! {
+    #[test]
+    fn rocketfuel_like_meets_contract(
+        switches in 2usize..60,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let links = (switches - 1 + extra).min(switches * (switches - 1) / 2);
+        let t = rocketfuel_like(switches, links, seed);
+        prop_assert_eq!(t.switch_count(), switches);
+        prop_assert_eq!(t.link_count(), links);
+        prop_assert!(t.is_connected());
+        // Simple graph: no duplicate links.
+        for s in t.switches() {
+            let mut peers: Vec<SwitchId> = t.neighbors(s).iter().map(|n| n.peer).collect();
+            peers.sort_unstable();
+            let before = peers.len();
+            peers.dedup();
+            prop_assert_eq!(peers.len(), before, "parallel link at {}", s);
+        }
+    }
+
+    #[test]
+    fn deterministic_generators(seed in any::<u64>()) {
+        prop_assert_eq!(rocketfuel_like(12, 20, seed), rocketfuel_like(12, 20, seed));
+        prop_assert_eq!(waxman(15, 0.5, 0.5, seed), waxman(15, 0.5, 0.5, seed));
+        prop_assert_eq!(jellyfish(12, 3, seed), jellyfish(12, 3, seed));
+    }
+
+    #[test]
+    fn structured_generators_always_connected(n in 3usize..30) {
+        prop_assert!(line(n).is_connected());
+        prop_assert!(ring(n).is_connected());
+        prop_assert!(star(n).is_connected());
+        prop_assert!(grid(n.min(6), 3).is_connected());
+    }
+
+    #[test]
+    fn jellyfish_regularity(n in 6usize..25, degree in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(n * degree % 2 == 0);
+        prop_assume!(degree < n);
+        let t = jellyfish(n, degree, seed);
+        prop_assert!(t.is_connected());
+        for s in t.switches() {
+            prop_assert_eq!(t.port_count(s), degree as u32);
+        }
+    }
+
+    #[test]
+    fn fat_tree_structure(half in 1usize..4) {
+        let k = half * 2;
+        let t = fat_tree(k);
+        prop_assert_eq!(t.switch_count(), half * half + k * k);
+        prop_assert!(t.is_connected());
+        // Cores have degree k; pod switches have degree k/2 + k/2 = k...
+        // except edge switches, which only link to their pod's
+        // aggregation layer (k/2).
+        for c in 0..half * half {
+            prop_assert_eq!(t.port_count(SwitchId(c)), k as u32);
+        }
+    }
+}

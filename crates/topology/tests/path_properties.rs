@@ -1,0 +1,97 @@
+//! Property tests for path algorithms: Yen's K-shortest paths checked
+//! against brute-force loopless path enumeration on small random graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdnprobe_topology::paths::{bfs_distances, k_shortest_paths, shortest_path};
+use sdnprobe_topology::{SwitchId, Topology};
+
+fn random_connected(seed: u64, n: usize) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.add_link(SwitchId(rng.gen_range(0..i)), SwitchId(i));
+    }
+    // Sprinkle extra links.
+    for _ in 0..n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !t.has_link(SwitchId(a), SwitchId(b)) {
+            t.add_link(SwitchId(a), SwitchId(b));
+        }
+    }
+    t
+}
+
+/// All loopless paths src -> dst, by DFS.
+fn all_paths(t: &Topology, src: SwitchId, dst: SwitchId) -> Vec<Vec<SwitchId>> {
+    fn rec(
+        t: &Topology,
+        cur: SwitchId,
+        dst: SwitchId,
+        stack: &mut Vec<SwitchId>,
+        out: &mut Vec<Vec<SwitchId>>,
+    ) {
+        if cur == dst {
+            out.push(stack.clone());
+            return;
+        }
+        for nb in t.neighbors(cur) {
+            if stack.contains(&nb.peer) {
+                continue;
+            }
+            stack.push(nb.peer);
+            rec(t, nb.peer, dst, stack, out);
+            stack.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    rec(t, src, dst, &mut stack, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Yen's paths are exactly the k shortest loopless paths: valid,
+    /// distinct, sorted by length, and no shorter path is omitted.
+    #[test]
+    fn yen_agrees_with_brute_force(seed in 0u64..2_000, k in 1usize..6) {
+        let t = random_connected(seed, 6);
+        let (src, dst) = (SwitchId(0), SwitchId(5));
+        let yen = k_shortest_paths(&t, src, dst, k);
+        let mut brute = all_paths(&t, src, dst);
+        brute.sort_by_key(|p| p.len());
+
+        prop_assert_eq!(yen.len(), brute.len().min(k), "path count");
+        for (i, p) in yen.iter().enumerate() {
+            // Valid and loopless.
+            prop_assert!(p.windows(2).all(|w| t.has_link(w[0], w[1])));
+            let mut dedup = p.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), p.len(), "loopless");
+            // Length matches the i-th brute-force length (the specific
+            // tie-broken path may differ, the length spectrum may not).
+            prop_assert_eq!(p.len(), brute[i].len(), "length spectrum at {}", i);
+        }
+        // Distinct paths.
+        let mut set = yen.clone();
+        set.sort();
+        set.dedup();
+        prop_assert_eq!(set.len(), yen.len());
+    }
+
+    /// `shortest_path` length agrees with BFS distances everywhere.
+    #[test]
+    fn shortest_path_matches_bfs(seed in 0u64..2_000) {
+        let t = random_connected(seed, 7);
+        let dist = bfs_distances(&t, SwitchId(0));
+        for v in t.switches() {
+            let p = shortest_path(&t, SwitchId(0), v).expect("connected");
+            prop_assert_eq!(Some(p.len() as u32 - 1), dist[v.0], "to {}", v);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Fault scenario builders for the evaluation (§VIII: "attacks are
+//! simulated by modifying the flow entries").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sdnprobe_dataplane::{Activation, EntryId, FaultKind, FaultSpec};
+use sdnprobe_headerspace::Ternary;
+use sdnprobe_topology::SwitchId;
+
+use crate::rules::SyntheticNetwork;
+
+/// Which basic behaviours to draw from when injecting random faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasicFaultMix {
+    /// Drops only.
+    DropOnly,
+    /// Uniform mix of drop / modify / misdirect.
+    Mixed,
+}
+
+/// Injects persistent basic faults into a random `fraction` of flow
+/// entries. Returns the faulted entries.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn inject_random_basic_faults(
+    sn: &mut SyntheticNetwork,
+    fraction: f64,
+    mix: BasicFaultMix,
+    seed: u64,
+) -> Vec<EntryId> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries: Vec<EntryId> = sn.flows.iter().flat_map(|f| f.entries.clone()).collect();
+    entries.shuffle(&mut rng);
+    let count = ((entries.len() as f64 * fraction).round() as usize).min(entries.len());
+    let chosen: Vec<EntryId> = entries.into_iter().take(count).collect();
+    for &e in &chosen {
+        let entry = *sn.network.entry(e).expect("entry installed");
+        let kind = match mix {
+            BasicFaultMix::DropOnly => FaultKind::Drop,
+            BasicFaultMix::Mixed => match rng.gen_range(0..3) {
+                0 => FaultKind::Drop,
+                1 => {
+                    // A rewrite that is guaranteed to corrupt every
+                    // matching packet: flip one bit the match fixes.
+                    let m = entry.match_field();
+                    let k = (0..m.len())
+                        .find(|&k| m.bit(k).is_some())
+                        .unwrap_or(0);
+                    let flipped = !m.bit(k).unwrap_or(false);
+                    let set = Ternary::wildcard(m.len()).with_bit(k, flipped);
+                    FaultKind::Modify(set)
+                }
+                _ => {
+                    // Misdirect out of a genuinely wrong port.
+                    let loc = sn.network.location(e).expect("entry installed");
+                    let ports = sn.network.topology().port_count(loc.switch);
+                    let correct = match entry.action() {
+                        sdnprobe_dataplane::Action::Output(p) => Some(p),
+                        _ => None,
+                    };
+                    let mut port =
+                        sdnprobe_topology::PortId(rng.gen_range(0..ports.max(1) + 1));
+                    while Some(port) == correct {
+                        port = sdnprobe_topology::PortId(rng.gen_range(0..ports.max(1) + 1));
+                    }
+                    FaultKind::Misdirect(port)
+                }
+            },
+        };
+        sn.network
+            .inject_fault(e, FaultSpec::new(kind))
+            .expect("entry installed");
+    }
+    chosen
+}
+
+/// A colluding detour pair: the upstream rule tunnels matched packets to
+/// the downstream partner switch, skipping everything in between
+/// (§III-B / §V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetourPair {
+    /// The compromised rule performing the detour.
+    pub entry: EntryId,
+    /// The switch hosting that rule.
+    pub upstream: SwitchId,
+    /// The colluding switch the packet is tunneled to.
+    pub downstream: SwitchId,
+}
+
+/// Injects up to `pairs` colluding detours. Each picks a flow whose path
+/// is at least `min_gap + 2` hops long and two positions `i < j` on it:
+/// the rule at position `i` detours to the switch at position `j`.
+/// Because the partner lies downstream on the same flow, packets re-join
+/// the path and end-to-end probes cannot see the detour.
+pub fn inject_colluding_detours(
+    sn: &mut SyntheticNetwork,
+    pairs: usize,
+    min_gap: usize,
+    seed: u64,
+) -> Vec<DetourPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<usize> = (0..sn.flows.len())
+        .filter(|&i| sn.flows[i].path.len() >= min_gap + 2)
+        .collect();
+    candidates.shuffle(&mut rng);
+    let mut out = Vec::new();
+    for idx in candidates.into_iter().take(pairs) {
+        let flow = &sn.flows[idx];
+        let max_i = flow.path.len() - 1 - min_gap;
+        let i = rng.gen_range(0..max_i);
+        let j = rng.gen_range(i + min_gap..flow.path.len());
+        let pair = DetourPair {
+            entry: flow.entries[i],
+            upstream: flow.path[i],
+            downstream: flow.path[j],
+        };
+        sn.network
+            .inject_fault(
+                pair.entry,
+                FaultSpec::new(FaultKind::Detour {
+                    partner: pair.downstream,
+                }),
+            )
+            .expect("entry installed");
+        out.push(pair);
+    }
+    out
+}
+
+/// Injects targeting faults: each victim rule drops only a narrow
+/// sub-space of its match (the paper's "only affect the destination IP
+/// 10.10.1.1" example — here a victim subnet, sized by
+/// `victim_extra_bits` additional fixed bits beyond the flow prefix;
+/// 16 extra bits on a /16 flow gives a single /32 host). Returns
+/// `(entry, victim pattern)` pairs.
+pub fn inject_targeting_faults(
+    sn: &mut SyntheticNetwork,
+    count: usize,
+    victim_extra_bits: u32,
+    seed: u64,
+) -> Vec<(EntryId, Ternary)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flow_indices: Vec<usize> = (0..sn.flows.len()).collect();
+    flow_indices.shuffle(&mut rng);
+    let mut out = Vec::new();
+    for idx in flow_indices.into_iter().take(count) {
+        let flow = &sn.flows[idx];
+        let entry = flow.entries[rng.gen_range(0..flow.entries.len())];
+        // A random sub-prefix inside the flow's prefix.
+        let mut rng2 = StdRng::seed_from_u64(rng.gen());
+        let sample = flow.prefix.sample_header(&mut rng2);
+        let fixed = (flow.prefix.fixed_bit_count() + victim_extra_bits)
+            .min(crate::rules::HEADER_BITS);
+        let victim = Ternary::prefix(sample.bits(), fixed, crate::rules::HEADER_BITS);
+        sn.network
+            .inject_fault(
+                entry,
+                FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(victim)),
+            )
+            .expect("entry installed");
+        out.push((entry, victim));
+    }
+    out
+}
+
+/// Injects intermittent drop faults on `count` random entries with the
+/// given duty cycle.
+pub fn inject_intermittent_faults(
+    sn: &mut SyntheticNetwork,
+    count: usize,
+    period_ns: u64,
+    active_ns: u64,
+    seed: u64,
+) -> Vec<EntryId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries: Vec<EntryId> = sn.flows.iter().flat_map(|f| f.entries.clone()).collect();
+    entries.shuffle(&mut rng);
+    let chosen: Vec<EntryId> = entries.into_iter().take(count).collect();
+    for &e in &chosen {
+        sn.network
+            .inject_fault(
+                e,
+                FaultSpec::new(FaultKind::Drop).with_activation(Activation::Intermittent {
+                    period_ns,
+                    active_ns,
+                }),
+            )
+            .expect("entry installed");
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{synthesize, WorkloadSpec};
+    use sdnprobe_topology::generate::rocketfuel_like;
+
+    fn network() -> SyntheticNetwork {
+        let topo = rocketfuel_like(15, 26, 5);
+        synthesize(&topo, &WorkloadSpec { flows: 30, ..WorkloadSpec::default() })
+    }
+
+    #[test]
+    fn basic_faults_hit_requested_fraction() {
+        let mut sn = network();
+        let total: usize = sn.flows.iter().map(|f| f.entries.len()).sum();
+        let chosen = inject_random_basic_faults(&mut sn, 0.25, BasicFaultMix::DropOnly, 9);
+        assert_eq!(chosen.len(), (total as f64 * 0.25).round() as usize);
+        assert_eq!(sn.network.faulty_entries().count(), chosen.len());
+    }
+
+    #[test]
+    fn zero_and_full_fraction() {
+        let mut sn = network();
+        assert!(inject_random_basic_faults(&mut sn, 0.0, BasicFaultMix::Mixed, 1).is_empty());
+        let mut sn = network();
+        let total: usize = sn.flows.iter().map(|f| f.entries.len()).sum();
+        let all = inject_random_basic_faults(&mut sn, 1.0, BasicFaultMix::Mixed, 1);
+        assert_eq!(all.len(), total);
+    }
+
+    #[test]
+    fn detour_pairs_are_downstream() {
+        let mut sn = network();
+        let pairs = inject_colluding_detours(&mut sn, 5, 2, 3);
+        assert!(!pairs.is_empty(), "long enough flows must exist");
+        for p in &pairs {
+            // Partner must be strictly downstream on the chosen flow.
+            let flow = sn
+                .flows
+                .iter()
+                .find(|f| f.entries.contains(&p.entry))
+                .expect("pair references a flow");
+            let i = flow.path.iter().position(|&s| s == p.upstream).unwrap();
+            let j = flow.path.iter().position(|&s| s == p.downstream).unwrap();
+            assert!(j >= i + 2, "gap respected: {i} .. {j}");
+        }
+    }
+
+    #[test]
+    fn detour_evades_end_to_end_delivery_check() {
+        use sdnprobe_dataplane::Outcome;
+        use sdnprobe_headerspace::Header;
+        let mut sn = network();
+        let pairs = inject_colluding_detours(&mut sn, 3, 2, 7);
+        for p in &pairs {
+            let flow = sn
+                .flows
+                .iter()
+                .find(|f| f.entries.contains(&p.entry))
+                .unwrap();
+            let h = Header::new(flow.prefix.value_bits(), crate::rules::HEADER_BITS);
+            let trace = sn.network.inject(flow.path[0], h);
+            // Packet still exits at the flow's terminal (evasion)...
+            assert_eq!(
+                trace.outcome,
+                Outcome::LeftNetwork {
+                    switch: *flow.path.last().unwrap(),
+                    port: crate::rules::HOST_PORT
+                }
+            );
+            // ...but the switches between the colluders were skipped.
+            let visited = trace.switches_visited();
+            let i = flow.path.iter().position(|&s| s == p.upstream).unwrap();
+            let j = flow.path.iter().position(|&s| s == p.downstream).unwrap();
+            for skipped in &flow.path[i + 1..j] {
+                assert!(!visited.contains(skipped), "detour must skip {skipped}");
+            }
+        }
+    }
+
+    #[test]
+    fn targeting_faults_affect_only_victims() {
+        use sdnprobe_headerspace::Header;
+        // No nested flows: a sampled victim header must follow the
+        // faulted flow's own route.
+        let topo = rocketfuel_like(15, 26, 5);
+        let mut sn = synthesize(
+            &topo,
+            &WorkloadSpec {
+                flows: 30,
+                nested_fraction: 0.0,
+                diversion_fraction: 0.0,
+                ..WorkloadSpec::default()
+            },
+        );
+        let victims = inject_targeting_faults(&mut sn, 4, 16, 11);
+        assert_eq!(victims.len(), 4);
+        for (entry, victim) in &victims {
+            let flow = sn
+                .flows
+                .iter()
+                .find(|f| f.entries.contains(entry))
+                .unwrap();
+            // The victim header dies somewhere; a sibling header makes it.
+            let vh = Header::new(victim.value_bits(), crate::rules::HEADER_BITS);
+            let sibling = Header::new(
+                victim.value_bits() ^ (1 << 31),
+                crate::rules::HEADER_BITS,
+            );
+            let dead = sn.network.inject(flow.path[0], vh);
+            let alive = sn.network.inject(flow.path[0], sibling);
+            assert_ne!(dead.outcome, alive.outcome);
+        }
+    }
+
+    #[test]
+    fn intermittent_faults_installed() {
+        let mut sn = network();
+        let chosen = inject_intermittent_faults(&mut sn, 3, 1_000_000, 400_000, 13);
+        assert_eq!(chosen.len(), 3);
+        for e in &chosen {
+            assert!(sn.network.fault(*e).is_some());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Evaluation workloads for the SDNProbe reproduction (§VIII).
+//!
+//! Synthesizes the paper's experimental inputs: K-shortest-path flow
+//! rules over Rocketfuel-like topologies, the campus backbone dataset
+//! (two tables of 550/579 entries with 65-deep overlaps), the Fig. 8
+//! 100-topology suite, the Table II scalability suite, and fault
+//! scenario builders (random basic faults, colluding detours, targeting
+//! and intermittent faults).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod campus;
+pub mod faults;
+pub mod multifield;
+pub mod pipelines;
+pub mod rules;
+pub mod suites;
+
+pub use campus::{synthesize_campus, CampusNetwork, CampusSpec};
+pub use multifield::{synthesize_multifield, MultiFieldNetwork, MultiFieldSpec};
+pub use pipelines::{synthesize_pipelines, PipelineNetwork, PipelineSpec};
+pub use faults::{
+    inject_colluding_detours, inject_intermittent_faults, inject_random_basic_faults,
+    inject_targeting_faults, BasicFaultMix, DetourPair,
+};
+pub use rules::{synthesize, FlowSpec, SyntheticNetwork, WorkloadSpec, HEADER_BITS, HOST_PORT};
+pub use suites::{fig8_suite, synthesize_to_rule_count, table2_suite, Table2Case, TopologyCase};

@@ -1,0 +1,172 @@
+//! Evaluation suites matching the paper's experimental settings.
+
+use sdnprobe_topology::{generate::rocketfuel_like, Topology};
+
+use crate::rules::{synthesize, SyntheticNetwork, WorkloadSpec};
+
+/// One evaluation topology case.
+#[derive(Debug, Clone)]
+pub struct TopologyCase {
+    /// Human-readable label.
+    pub name: String,
+    /// Switch count.
+    pub switches: usize,
+    /// Link count.
+    pub links: usize,
+    /// Base flows to synthesize.
+    pub flows: usize,
+    /// Seed for both topology and workload.
+    pub seed: u64,
+}
+
+impl TopologyCase {
+    /// Builds the topology for this case.
+    pub fn topology(&self) -> Topology {
+        rocketfuel_like(self.switches, self.links, self.seed)
+    }
+
+    /// Builds topology + flow rules.
+    pub fn build(&self) -> SyntheticNetwork {
+        synthesize(
+            &self.topology(),
+            &WorkloadSpec {
+                flows: self.flows,
+                k: 3,
+                nested_fraction: 0.2,
+                diversion_fraction: 0.3,
+                min_path_len: 5,
+                seed: self.seed,
+            },
+        )
+    }
+}
+
+/// The Fig. 8 suite: `count` Rocketfuel-like topologies "with varying
+/// number of flow entries" (paper: 100 topologies). Sizes sweep from 10
+/// to ~60 switches with links ≈ 1.8 × switches and proportional flow
+/// counts, so rule counts vary widely across the suite.
+pub fn fig8_suite(count: usize, base_seed: u64) -> Vec<TopologyCase> {
+    (0..count)
+        .map(|i| {
+            let switches = 10 + (i * 50 / count.max(1));
+            let links = (switches as f64 * 1.8) as usize;
+            TopologyCase {
+                name: format!("topo-{i:03}"),
+                switches,
+                links: links.max(switches - 1),
+                flows: 5 + 2 * switches,
+                seed: base_seed + i as u64,
+            }
+        })
+        .collect()
+}
+
+/// A Table II scalability case: the paper's Setting columns.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Case {
+    /// Paper row number (1–5).
+    pub row: usize,
+    /// Target rule count (paper value × `scale`).
+    pub target_rules: usize,
+    /// Switch count (paper value, unscaled).
+    pub switches: usize,
+    /// Link count (paper value, unscaled).
+    pub links: usize,
+}
+
+/// The Table II suite. `scale` shrinks the paper's rule counts
+/// (4,764 – 358,675) for tractable default runs; pass `1.0` to attempt
+/// paper scale.
+pub fn table2_suite(scale: f64) -> Vec<Table2Case> {
+    let rows = [
+        (1, 4_764, 10, 15),
+        (2, 33_637, 30, 54),
+        (3, 82_740, 30, 54),
+        (4, 205_713, 79, 147),
+        (5, 358_675, 79, 147),
+    ];
+    rows.iter()
+        .map(|&(row, rules, switches, links)| Table2Case {
+            row,
+            target_rules: ((rules as f64 * scale) as usize).max(switches * 2),
+            switches,
+            links,
+        })
+        .collect()
+}
+
+/// Synthesizes a workload sized to approximately `target_rules` rules
+/// (within ~10 %): iteratively adjusts the flow count.
+pub fn synthesize_to_rule_count(
+    topology: &Topology,
+    target_rules: usize,
+    seed: u64,
+) -> SyntheticNetwork {
+    let mut flows = (target_rules / 4).max(1);
+    let mut best = synthesize(
+        topology,
+        &WorkloadSpec {
+            flows,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.25,
+            min_path_len: 4,
+            seed,
+        },
+    );
+    for _ in 0..4 {
+        let have = best.rule_count().max(1);
+        if have.abs_diff(target_rules) * 10 <= target_rules {
+            break;
+        }
+        flows = (flows * target_rules / have).max(1);
+        best = synthesize(
+            topology,
+            &WorkloadSpec {
+                flows,
+                k: 3,
+                nested_fraction: 0.2,
+                diversion_fraction: 0.25,
+                min_path_len: 4,
+                seed,
+            },
+        );
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_suite_has_varying_sizes() {
+        let suite = fig8_suite(10, 100);
+        assert_eq!(suite.len(), 10);
+        assert!(suite.first().unwrap().switches < suite.last().unwrap().switches);
+        let sn = suite[0].build();
+        assert!(sn.rule_count() > 0);
+    }
+
+    #[test]
+    fn table2_suite_matches_paper_settings() {
+        let suite = table2_suite(1.0);
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].target_rules, 4_764);
+        assert_eq!(suite[4].switches, 79);
+        assert_eq!(suite[4].links, 147);
+        let scaled = table2_suite(0.01);
+        assert!(scaled[4].target_rules < 4_000);
+    }
+
+    #[test]
+    fn rule_count_targeting_converges() {
+        let topo = rocketfuel_like(10, 15, 3);
+        let sn = synthesize_to_rule_count(&topo, 300, 3);
+        let have = sn.rule_count();
+        assert!(
+            have.abs_diff(300) * 10 <= 300 || have > 250,
+            "rule count {have} too far from 300"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Multi-table pipelines: auditing a network whose switches run an ACL
+//! table in front of their routing table (OpenFlow 1.3 style).
+//!
+//! SDNProbe flattens the goto chains into per-rule *effective inputs*,
+//! so probe headers automatically avoid the ACL-dropped space and still
+//! exercise every routing rule behind it.
+//!
+//! Run with: `cargo run --release -p sdnprobe --example acl_pipeline`
+
+use sdnprobe::{accuracy, SdnProbe};
+use sdnprobe_dataplane::{FaultKind, FaultSpec};
+use sdnprobe_topology::generate::fat_tree;
+use sdnprobe_workloads::{synthesize_pipelines, PipelineSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A k=4 fat tree — 20 switches of data-centre fabric.
+    let topo = fat_tree(4);
+    let mut pn = synthesize_pipelines(
+        &topo,
+        &PipelineSpec {
+            flows: 30,
+            acls_per_switch: 3,
+            seed: 11,
+        },
+    );
+    println!(
+        "fat-tree fabric: {} switches, {} ACL entries + {} goto entries in table 0, {} routing rules in table 1",
+        topo.switch_count(),
+        pn.acls.len(),
+        pn.gotos.len(),
+        pn.synthetic.flows.iter().map(|f| f.entries.len()).sum::<usize>(),
+    );
+
+    let prober = SdnProbe::new();
+    let (graph, plan) = prober.plan(&pn.synthetic.network)?;
+    println!(
+        "rule graph flattens the pipeline: {} forwarding vertices, probe plan = {} packets",
+        graph.vertex_count(),
+        plan.packet_count()
+    );
+    // Every probe header survives its switch's ACL by construction.
+    for p in &plan.probes {
+        assert!(p.header_space.contains(p.header));
+    }
+
+    // Compromise one routing rule hidden behind the ACLs.
+    let victim_flow = pn
+        .synthetic
+        .flows
+        .iter()
+        .find(|f| f.entries.len() >= 3)
+        .expect("multi-hop flow");
+    let victim = victim_flow.entries[1];
+    pn.synthetic
+        .network
+        .inject_fault(victim, FaultSpec::new(FaultKind::Drop))?;
+    let report = prober.detect(&mut pn.synthetic.network)?;
+    let acc = accuracy(&pn.synthetic.network, &report.faulty_switches);
+    println!(
+        "fault behind the ACL localized: {:?} (rule {:?}), FPR {:.2}, FNR {:.2}",
+        report.faulty_switches, report.faulty_rules, acc.false_positive_rate, acc.false_negative_rate
+    );
+    assert_eq!(report.faulty_rules, vec![victim]);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The paper's probabilistic claim (§V-C): the probability that
+//! colluding detour partners share every randomized tested path decays
+//! exponentially with rounds, so Randomized SDNProbe reaches FNR = 0.
+//! Checked across a battery of seeded networks and collusion placements
+//! — each run is deterministic, and every one must converge within the
+//! round budget.
+
+use sdnprobe::{accuracy, RandomizedSdnProbe, SdnProbe};
+use sdnprobe_topology::generate::rocketfuel_like;
+use sdnprobe_workloads::{inject_colluding_detours, synthesize, WorkloadSpec};
+
+#[test]
+fn randomized_always_converges_on_detours() {
+    let mut convergence_rounds = Vec::new();
+    for seed in 0..12u64 {
+        let topo = rocketfuel_like(20, 36, 500 + seed);
+        let mut sn = synthesize(
+            &topo,
+            &WorkloadSpec {
+                flows: 40,
+                k: 3,
+                nested_fraction: 0.0,
+                diversion_fraction: 0.0,
+                min_path_len: 5,
+                seed: 500 + seed,
+            },
+        );
+        let pairs = inject_colluding_detours(&mut sn, 2, 1, 500 + seed);
+        if pairs.is_empty() {
+            continue;
+        }
+        // Static SDNProbe must miss them (the colluders ride its fixed
+        // paths)...
+        let r = SdnProbe::new().detect(&mut sn.network).expect("detect");
+        let static_fnr = accuracy(&sn.network, &r.faulty_switches).false_negative_rate;
+        assert!(static_fnr > 0.0, "seed {seed}: static should miss detours");
+
+        // ...while randomized rounds always converge to FNR = 0.
+        let prober = RandomizedSdnProbe::new(900 + seed);
+        let mut session = prober.session(&sn.network).expect("graph");
+        let mut converged = None;
+        for round in 1..=80 {
+            let report = session.step(&mut sn.network).expect("step");
+            let acc = accuracy(&sn.network, &report.faulty_switches);
+            assert_eq!(
+                acc.false_positive_rate, 0.0,
+                "seed {seed}: randomized must never blame benign switches"
+            );
+            if acc.false_negative_rate == 0.0 {
+                converged = Some(round);
+                break;
+            }
+        }
+        let round = converged.unwrap_or_else(|| panic!("seed {seed}: no convergence in 80 rounds"));
+        convergence_rounds.push(round);
+    }
+    assert!(
+        convergence_rounds.len() >= 8,
+        "too few scenarios produced detour-capable flows"
+    );
+    // The whole point of the exponential-decay argument: convergence is
+    // quick, not a fluke at the budget's edge.
+    let avg = convergence_rounds.iter().sum::<usize>() as f64 / convergence_rounds.len() as f64;
+    assert!(
+        avg < 25.0,
+        "convergence too slow: {convergence_rounds:?} (avg {avg:.1})"
+    );
+}

@@ -1,0 +1,74 @@
+//! Medium-scale end-to-end stress: full pipeline on a backbone-sized
+//! network with a batch of mixed faults, plus a larger opt-in run
+//! (`cargo test -p sdnprobe-integration --release -- --ignored`).
+
+use sdnprobe::{accuracy, SdnProbe};
+use sdnprobe_rulegraph::RuleGraph;
+use sdnprobe_topology::generate::{fat_tree, rocketfuel_like};
+use sdnprobe_workloads::{
+    inject_random_basic_faults, synthesize, BasicFaultMix, WorkloadSpec,
+};
+
+fn run_exact_detection(topology: sdnprobe_topology::Topology, flows: usize, seed: u64) {
+    let mut sn = synthesize(
+        &topology,
+        &WorkloadSpec {
+            flows,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.2,
+            min_path_len: 4,
+            seed,
+        },
+    );
+    inject_random_basic_faults(&mut sn, 0.05, BasicFaultMix::DropOnly, seed);
+    let rules = sn.rule_count();
+    let report = SdnProbe::new().detect(&mut sn.network).expect("detect");
+    let acc = accuracy(&sn.network, &report.faulty_switches);
+    assert_eq!(acc.false_positive_rate, 0.0, "{rules} rules: FP");
+    assert_eq!(acc.false_negative_rate, 0.0, "{rules} rules: FN");
+}
+
+#[test]
+fn backbone_scale_detection_is_exact() {
+    run_exact_detection(rocketfuel_like(25, 45, 71), 70, 71);
+}
+
+#[test]
+fn fat_tree_detection_is_exact() {
+    // The DC topology has massive path diversity; exactness must hold.
+    run_exact_detection(fat_tree(4), 50, 72);
+}
+
+#[test]
+fn probe_count_stays_sublinear_at_scale() {
+    let topo = rocketfuel_like(30, 54, 73);
+    let sn = synthesize(
+        &topo,
+        &WorkloadSpec {
+            flows: 120,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.2,
+            min_path_len: 4,
+            seed: 73,
+        },
+    );
+    let graph = RuleGraph::from_network(&sn.network).expect("loop-free");
+    let plan = sdnprobe::generate(&graph);
+    assert!(plan.covers_all_rules(&graph));
+    // The whole point: far fewer probes than rules (chains average 4+).
+    assert!(
+        plan.packet_count() * 3 < graph.vertex_count(),
+        "{} probes for {} rules",
+        plan.packet_count(),
+        graph.vertex_count()
+    );
+}
+
+/// Opt-in big run: `cargo test -p sdnprobe-integration --release -- --ignored`.
+#[test]
+#[ignore = "heavy; run with --release -- --ignored"]
+fn large_scale_detection_is_exact() {
+    run_exact_detection(rocketfuel_like(79, 147, 74), 600, 74);
+}
