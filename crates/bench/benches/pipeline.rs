@@ -1,11 +1,15 @@
 //! Criterion benchmarks for the SDNProbe pipeline stages: rule-graph
 //! construction (with legal closure), MLPC test-packet generation,
-//! randomized generation, incremental updates, and a localization round.
+//! randomized generation, incremental updates, a localization round,
+//! and 1-thread vs N-thread scaling of the parallel pipeline stages.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sdnprobe::{generate, generate_randomized, FaultLocalizer, ProbeConfig, ProbeHarness};
+use sdnprobe::{
+    generate, generate_randomized, generate_with, FaultLocalizer, Parallelism, ProbeConfig,
+    ProbeHarness,
+};
 use sdnprobe_dataplane::{Action, FaultKind, FaultSpec, FlowEntry, TableId};
 use sdnprobe_rulegraph::{RuleGraph, RuleUpdate};
 use sdnprobe_topology::generate::rocketfuel_like;
@@ -70,11 +74,19 @@ fn incremental_update(c: &mut Criterion) {
                 )
                 .unwrap();
             let mut g = graph.clone();
-            g.apply_update(&net, &RuleUpdate::Added { entry: id }).unwrap();
+            g.apply_update(&net, &RuleUpdate::Added { entry: id })
+                .unwrap();
             let location = net.location(id).unwrap();
             let old = net.remove(id).unwrap();
-            g.apply_update(&net, &RuleUpdate::Removed { entry: id, old, location })
-                .unwrap();
+            g.apply_update(
+                &net,
+                &RuleUpdate::Removed {
+                    entry: id,
+                    old,
+                    location,
+                },
+            )
+            .unwrap();
             black_box(g)
         })
     });
@@ -89,14 +101,17 @@ fn localization_round(c: &mut Criterion) {
         bench.iter_batched(
             || {
                 let mut net = sn.network.clone();
-                net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+                net.inject_fault(victim, FaultSpec::new(FaultKind::Drop))
+                    .unwrap();
                 net
             },
             |mut net| {
                 let mut harness = ProbeHarness::new();
                 let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
                 let mut localizer = FaultLocalizer::new(ProbeConfig::default());
-                let report = localizer.run(&mut net, &graph, &mut harness, probes).unwrap();
+                let report = localizer
+                    .run(&mut net, &graph, &mut harness, probes)
+                    .unwrap();
                 black_box(report)
             },
             criterion::BatchSize::LargeInput,
@@ -104,11 +119,68 @@ fn localization_round(c: &mut Criterion) {
     });
 }
 
+/// Thread counts to sweep: 1, 2, 4, and every available core.
+fn thread_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut counts = vec![1, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    counts.retain(|&t| t <= cores.max(4));
+    counts
+}
+
+/// 1-thread vs N-thread scaling of the parallel pipeline stages, on the
+/// largest synthetic Rocketfuel-like workload this suite builds. The
+/// plans and send results are bit-identical at every thread count; only
+/// wall-clock changes.
+fn thread_scaling(c: &mut Criterion) {
+    let sn = workload(160);
+    let graph = RuleGraph::from_network(&sn.network).unwrap();
+
+    // MLPC generation: sequential matching + parallel path expansion.
+    let mut group = c.benchmark_group("parallel/generate");
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| generate_with(black_box(&graph), Parallelism::with_threads(t)))
+            },
+        );
+    }
+    group.finish();
+
+    // One probing round: a whole plan's sends fanned out with
+    // `ProbeHarness::send_batch`.
+    let plan = generate(&graph);
+    let mut net = sn.network.clone();
+    let mut harness = ProbeHarness::new();
+    let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
+    let mut group = c.benchmark_group("parallel/send_round");
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    harness.send_batch(
+                        black_box(&net),
+                        black_box(&probes),
+                        Parallelism::with_threads(t),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     rule_graph_construction,
     generation,
     incremental_update,
-    localization_round
+    localization_round,
+    thread_scaling
 );
 criterion_main!(benches);

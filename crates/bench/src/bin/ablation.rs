@@ -11,12 +11,12 @@
 //! 4. **Suspicion threshold**: localization delay vs robustness for
 //!    intermittent faults.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin ablation`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin ablation [--threads N]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sdnprobe::{accuracy, generate, ProbeConfig, RandomizedSdnProbe, SdnProbe};
-use sdnprobe_bench::{f3, summary, ResultTable};
+use sdnprobe::{accuracy, generate_with, ProbeConfig, RandomizedSdnProbe, SdnProbe};
+use sdnprobe_bench::{f3, parallelism, summary, ResultTable};
 use sdnprobe_matching::{min_path_cover, min_path_cover_with_sharing};
 use sdnprobe_rulegraph::{RuleGraph, VertexId};
 use sdnprobe_topology::generate::rocketfuel_like;
@@ -99,7 +99,7 @@ fn closure_and_legality(table_dir: &mut Vec<ResultTable>) {
             Ok(g) => g,
             Err(_) => continue,
         };
-        let mlpc = generate(&graph).packet_count();
+        let mlpc = generate_with(&graph, parallelism()).packet_count();
         // Compare on the same universe MLPC covers: drop cover paths
         // that only contain shadowed rules (no packet can trigger them,
         // so no scheme needs to probe them).
@@ -151,7 +151,11 @@ fn detour_rounds_with_seed(sn_seed: u64, rounds_cap: usize) -> Option<usize> {
     if pairs.is_empty() {
         return None;
     }
-    let prober = RandomizedSdnProbe::new(sn_seed);
+    let config = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
+    let prober = RandomizedSdnProbe::with_config(config, sn_seed);
     let mut session = prober.session(&sn.network).ok()?;
     for round in 1..=rounds_cap {
         let report = session.step(&mut sn.network).ok()?;
@@ -168,17 +172,24 @@ fn randomization_overhead(table_dir: &mut Vec<ResultTable>) {
     // overhead of randomized rounds and detour time-to-detect.
     let mut table = ResultTable::new(
         "Ablation 3: randomized rounds (chosen break probability 0.15)",
-        &["seed", "min packets", "randomized avg", "overhead", "detour caught in"],
+        &[
+            "seed",
+            "min packets",
+            "randomized avg",
+            "overhead",
+            "detour caught in",
+        ],
     );
     for seed in [11u64, 12, 13] {
         let sn = build(seed);
         let Ok(graph) = RuleGraph::from_network(&sn.network) else {
             continue;
         };
-        let minimum = generate(&graph).packet_count();
+        let par = parallelism();
+        let minimum = generate_with(&graph, par).packet_count();
         let mut rng = StdRng::seed_from_u64(seed);
         let avg: f64 = (0..10)
-            .map(|_| sdnprobe::generate_randomized(&graph, &mut rng).packet_count())
+            .map(|_| sdnprobe::generate_randomized_with(&graph, &mut rng, par).packet_count())
             .sum::<usize>() as f64
             / 10.0;
         let caught = detour_rounds_with_seed(seed, 60);
@@ -208,9 +219,12 @@ fn threshold_sweep(table_dir: &mut Vec<ResultTable>) {
             suspicion_threshold: threshold,
             restart_when_idle: true,
             max_rounds: 400,
+            parallelism: parallelism(),
             ..ProbeConfig::default()
         };
-        let report = SdnProbe::with_config(config).detect(&mut sn.network).expect("detect");
+        let report = SdnProbe::with_config(config)
+            .detect(&mut sn.network)
+            .expect("detect");
         let acc = accuracy(&sn.network, &report.faulty_switches);
         let last_detect = faulty
             .iter()

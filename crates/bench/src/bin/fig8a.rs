@@ -5,17 +5,18 @@
 //! fewer than ATPG; Randomized SDNProbe sends +72 % on average (+76 %
 //! max) over SDNProbe; Per-rule equals the rule count.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin fig8a [--topologies N] [--full]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig8a [--topologies N] [--full] [--threads N]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sdnprobe::{generate, generate_randomized};
+use sdnprobe::{generate_randomized_with, generate_with};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, f3, flag, summary, ResultTable};
+use sdnprobe_bench::{arg, f3, flag, parallelism, summary, ResultTable};
 use sdnprobe_rulegraph::RuleGraph;
 use sdnprobe_workloads::fig8_suite;
 
 fn main() {
+    let par = parallelism();
     let count = if flag("full") {
         100
     } else {
@@ -24,7 +25,14 @@ fn main() {
     let suite = fig8_suite(count, 8_000);
     let mut table = ResultTable::new(
         "Figure 8(a): number of generated test packets",
-        &["topology", "rules", "sdnprobe", "randomized", "atpg", "per-rule"],
+        &[
+            "topology",
+            "rules",
+            "sdnprobe",
+            "randomized",
+            "atpg",
+            "per-rule",
+        ],
     );
     let mut ratio_atpg = Vec::new();
     let mut ratio_rand = Vec::new();
@@ -39,9 +47,9 @@ fn main() {
             }
         };
         let rules = graph.vertex_count();
-        let sdn = generate(&graph).packet_count();
+        let sdn = generate_with(&graph, par).packet_count();
         let mut rng = StdRng::seed_from_u64(case.seed);
-        let randomized = generate_randomized(&graph, &mut rng).packet_count();
+        let randomized = generate_randomized_with(&graph, &mut rng, par).packet_count();
         let atpg_plan = Atpg::new().with_ingress(sn.ingress_switches()).plan(&graph);
         let atpg = atpg_plan.packet_count();
         let (per_rule, _) = PerRuleTester::new().plan(&graph);

@@ -7,17 +7,21 @@
 //! generation (wall clock) + probe serialization at 250 KB/s + round
 //! trips (virtual clock).
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin fig8b [--topologies N] [--full]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig8b [--topologies N] [--full] [--threads N]`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sdnprobe::{ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, f3, flag, secs, summary, ResultTable};
+use sdnprobe_bench::{arg, f3, flag, parallelism, secs, summary, ResultTable};
 use sdnprobe_dataplane::{FaultKind, FaultSpec};
 use sdnprobe_workloads::fig8_suite;
 
 fn main() {
+    let config = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
     let count = if flag("full") {
         100
     } else {
@@ -26,7 +30,14 @@ fn main() {
     let suite = fig8_suite(count, 8_100);
     let mut table = ResultTable::new(
         "Figure 8(b): delay to localize one faulty switch (seconds)",
-        &["topology", "rules", "sdnprobe", "randomized", "atpg", "per-rule"],
+        &[
+            "topology",
+            "rules",
+            "sdnprobe",
+            "randomized",
+            "atpg",
+            "per-rule",
+        ],
     );
     let mut maxima = [0f64; 4];
     let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
@@ -44,19 +55,20 @@ fn main() {
                 .expect("entry installed");
         };
 
-        let delay = |report: &sdnprobe::DetectionReport| {
-            secs(report.generation_ns + report.elapsed_ns)
-        };
+        let delay =
+            |report: &sdnprobe::DetectionReport| secs(report.generation_ns + report.elapsed_ns);
 
         let mut sn = case.build();
         make(&mut sn, &mut rng);
         let rules = sn.rule_count();
-        let sdn = SdnProbe::new().detect(&mut sn.network).expect("detect");
+        let sdn = SdnProbe::with_config(config)
+            .detect(&mut sn.network)
+            .expect("detect");
         let d_sdn = delay(&sdn);
 
         let mut sn = case.build();
         make(&mut sn, &mut rng);
-        let rand_report = RandomizedSdnProbe::new(case.seed)
+        let rand_report = RandomizedSdnProbe::with_config(config, case.seed)
             .detect(&mut sn.network, 1)
             .expect("detect");
         let d_rand = delay(&rand_report);
@@ -69,7 +81,7 @@ fn main() {
         let mut sn = case.build();
         make(&mut sn, &mut rng);
         // Per-rule needs threshold+1 failing rounds before it flags.
-        let per_rule = PerRuleTester::with_config(ProbeConfig::default())
+        let per_rule = PerRuleTester::with_config(config)
             .detect(&mut sn.network)
             .expect("detect");
         let d_rule = delay(&per_rule);
@@ -115,7 +127,12 @@ fn main() {
         ),
         (
             "ordering sdnprobe < per-rule (paper: holds)",
-            if maxima[0] <= maxima[3] { "holds" } else { "VIOLATED" }.to_string(),
+            if maxima[0] <= maxima[3] {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ),
         (
             "ATPG vs SDNProbe (paper: ATPG up to 5x slower)",
@@ -123,7 +140,11 @@ fn main() {
                 "ATPG {} — its paper-reported delay is dominated by test-packet \
                  recomputation, which this Rust implementation performs in \
                  microseconds; see EXPERIMENTS.md",
-                if maxima[2] >= maxima[0] { "slower (matches paper)" } else { "faster (deviation)" }
+                if maxima[2] >= maxima[0] {
+                    "slower (matches paper)"
+                } else {
+                    "faster (deviation)"
+                }
             ),
         ),
     ]);

@@ -7,11 +7,11 @@
 //! with false positives, Fig. 9(a)); ATPG is the worst throughout
 //! because it recomputes and sends additional per-suspect probes.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin fig8c [--switches N] [--flows N]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig8c [--switches N] [--flows N] [--threads N]`
 
 use sdnprobe::{ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, f3, secs, summary, ResultTable};
+use sdnprobe_bench::{arg, f3, parallelism, secs, summary, ResultTable};
 use sdnprobe_topology::generate::rocketfuel_like;
 use sdnprobe_workloads::{
     inject_random_basic_faults, synthesize, BasicFaultMix, SyntheticNetwork, WorkloadSpec,
@@ -33,12 +33,23 @@ fn build(switches: usize, flows: usize) -> SyntheticNetwork {
 }
 
 fn main() {
+    let config = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
     let switches: usize = arg("switches").unwrap_or(50);
     let flows: usize = arg("flows").unwrap_or(150);
     let rates = [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50];
     let mut table = ResultTable::new(
         "Figure 8(c): delay to localize multiple faulty switches (seconds)",
-        &["faulty-rate", "faulty-rules", "sdnprobe", "randomized", "atpg", "per-rule"],
+        &[
+            "faulty-rate",
+            "faulty-rules",
+            "sdnprobe",
+            "randomized",
+            "atpg",
+            "per-rule",
+        ],
     );
     let mut crossover = None;
     for (i, &rate) in rates.iter().enumerate() {
@@ -47,12 +58,14 @@ fn main() {
         let mut sn = build(switches, flows);
         let faulty = inject_random_basic_faults(&mut sn, rate, BasicFaultMix::DropOnly, seed);
         let n_faulty = faulty.len();
-        let sdn = SdnProbe::new().detect(&mut sn.network).expect("detect");
+        let sdn = SdnProbe::with_config(config)
+            .detect(&mut sn.network)
+            .expect("detect");
         let d_sdn = secs(sdn.generation_ns + sdn.elapsed_ns);
 
         let mut sn = build(switches, flows);
         inject_random_basic_faults(&mut sn, rate, BasicFaultMix::DropOnly, seed);
-        let rand = RandomizedSdnProbe::new(seed)
+        let rand = RandomizedSdnProbe::with_config(config, seed)
             .detect(&mut sn.network, 1)
             .expect("detect");
         let d_rand = secs(rand.generation_ns + rand.elapsed_ns);
@@ -68,10 +81,10 @@ fn main() {
         // (paper): it flags on the first failing probe.
         let per_rule = PerRuleTester::with_config(ProbeConfig {
             suspicion_threshold: 0,
-            ..ProbeConfig::default()
+            ..config
         })
-            .detect(&mut sn.network)
-            .expect("detect");
+        .detect(&mut sn.network)
+        .expect("detect");
         let d_rule = secs(per_rule.generation_ns + per_rule.elapsed_ns);
 
         if crossover.is_none() && d_rule < d_sdn {

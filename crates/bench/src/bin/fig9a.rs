@@ -7,11 +7,11 @@
 //! paths; Per-rule Test blames neighbours of faulty switches. FNR is 0
 //! for all four (persistent basic faults never escape).
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9a [--runs N]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9a [--runs N] [--threads N]`
 
 use sdnprobe::{accuracy, ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, f3, summary, ResultTable};
+use sdnprobe_bench::{arg, f3, parallelism, summary, ResultTable};
 use sdnprobe_topology::generate::rocketfuel_like;
 use sdnprobe_workloads::{
     inject_random_basic_faults, synthesize, BasicFaultMix, SyntheticNetwork, WorkloadSpec,
@@ -33,6 +33,10 @@ fn build(seed: u64) -> SyntheticNetwork {
 }
 
 fn main() {
+    let base = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
     let runs: usize = arg("runs").unwrap_or(10);
     let rates = [0.05, 0.10, 0.20, 0.30, 0.50];
     let mut table = ResultTable::new(
@@ -47,13 +51,15 @@ fn main() {
         for run in 0..runs {
             let seed = 11_000 + (i * runs + run) as u64;
             let schemes: Vec<Box<dyn FnOnce(&mut SyntheticNetwork) -> (f64, f64)>> = vec![
-                Box::new(|sn| {
-                    let r = SdnProbe::new().detect(&mut sn.network).expect("detect");
+                Box::new(move |sn| {
+                    let r = SdnProbe::with_config(base)
+                        .detect(&mut sn.network)
+                        .expect("detect");
                     let a = accuracy(&sn.network, &r.faulty_switches);
                     (a.false_positive_rate, a.false_negative_rate)
                 }),
                 Box::new(move |sn| {
-                    let r = RandomizedSdnProbe::new(seed)
+                    let r = RandomizedSdnProbe::with_config(base, seed)
                         .detect(&mut sn.network, 2)
                         .expect("detect");
                     let a = accuracy(&sn.network, &r.faulty_switches);
@@ -64,10 +70,10 @@ fn main() {
                     let a = accuracy(&sn.network, &r.faulty_switches);
                     (a.false_positive_rate, a.false_negative_rate)
                 }),
-                Box::new(|sn| {
+                Box::new(move |sn| {
                     let config = ProbeConfig {
                         suspicion_threshold: 0,
-                        ..ProbeConfig::default()
+                        ..base
                     };
                     let r = PerRuleTester::with_config(config)
                         .detect(&mut sn.network)
@@ -97,10 +103,7 @@ fn main() {
     table.print();
     table.save("fig9a");
     summary(&[
-        (
-            "SDNProbe & Randomized FPR (paper: 0)",
-            f3(sdn_fpr_total),
-        ),
+        ("SDNProbe & Randomized FPR (paper: 0)", f3(sdn_fpr_total)),
         (
             "all schemes FNR for basic faults (paper: 0)",
             format!("max observed {}", f3(max_fnr)),

@@ -11,15 +11,13 @@
 //! and longer jumps, mirroring the paper's "deviates from the testing
 //! path but eventually returns" model.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9b [--runs N] [--rounds N]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9b [--runs N] [--rounds N] [--threads N]`
 
 use sdnprobe::{accuracy, ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, f3, summary, ResultTable};
+use sdnprobe_bench::{arg, f3, parallelism, summary, ResultTable};
 use sdnprobe_topology::generate::rocketfuel_like;
-use sdnprobe_workloads::{
-    inject_colluding_detours, synthesize, SyntheticNetwork, WorkloadSpec,
-};
+use sdnprobe_workloads::{inject_colluding_detours, synthesize, SyntheticNetwork, WorkloadSpec};
 
 fn build(seed: u64) -> SyntheticNetwork {
     let topo = rocketfuel_like(30, 54, seed);
@@ -37,6 +35,10 @@ fn build(seed: u64) -> SyntheticNetwork {
 }
 
 fn main() {
+    let base = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
     let runs: usize = arg("runs").unwrap_or(10);
     let rounds: usize = arg("rounds").unwrap_or(30);
     let pair_counts = [1usize, 2, 4, 6, 8];
@@ -58,12 +60,14 @@ fn main() {
             if injected.is_empty() {
                 continue;
             }
-            let r = SdnProbe::new().detect(&mut sn.network).expect("detect");
+            let r = SdnProbe::with_config(base)
+                .detect(&mut sn.network)
+                .expect("detect");
             fnr[0] += accuracy(&sn.network, &r.faulty_switches).false_negative_rate / runs as f64;
 
             let mut sn = build(seed);
             inject_colluding_detours(&mut sn, pairs, 1, seed);
-            let r = RandomizedSdnProbe::new(seed)
+            let r = RandomizedSdnProbe::with_config(base, seed)
                 .detect(&mut sn.network, rounds)
                 .expect("detect");
             fnr[1] += accuracy(&sn.network, &r.faulty_switches).false_negative_rate / runs as f64;
@@ -77,7 +81,7 @@ fn main() {
             inject_colluding_detours(&mut sn, pairs, 1, seed);
             let config = ProbeConfig {
                 suspicion_threshold: 0,
-                ..ProbeConfig::default()
+                ..base
             };
             let r = PerRuleTester::with_config(config)
                 .detect(&mut sn.network)

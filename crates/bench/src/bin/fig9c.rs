@@ -9,15 +9,13 @@
 //! round by round and recording (cumulative delay, FNR) after each; the
 //! static schemes are run to completion and contribute flat lines.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9c [--rounds N]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin fig9c [--rounds N] [--threads N]`
 
 use sdnprobe::{accuracy, ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, f3, secs, summary, ResultTable};
+use sdnprobe_bench::{arg, f3, parallelism, secs, summary, ResultTable};
 use sdnprobe_topology::generate::rocketfuel_like;
-use sdnprobe_workloads::{
-    inject_colluding_detours, synthesize, SyntheticNetwork, WorkloadSpec,
-};
+use sdnprobe_workloads::{inject_colluding_detours, synthesize, SyntheticNetwork, WorkloadSpec};
 
 fn build(seed: u64) -> SyntheticNetwork {
     // Large and sparse enough that the ~50% faulty rules spread across
@@ -37,6 +35,10 @@ fn build(seed: u64) -> SyntheticNetwork {
 }
 
 fn main() {
+    let base = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
     let rounds: usize = arg("rounds").unwrap_or(60);
     let seed = 13_000u64;
     // "50% of rules are faulty": as many detour pairs as the eligible
@@ -53,7 +55,9 @@ fn main() {
     // Static schemes: flat lines.
     let mut sn = build(seed);
     inject_colluding_detours(&mut sn, pairs, 1, seed);
-    let r = SdnProbe::new().detect(&mut sn.network).expect("detect");
+    let r = SdnProbe::with_config(base)
+        .detect(&mut sn.network)
+        .expect("detect");
     let sdn_fnr = accuracy(&sn.network, &r.faulty_switches).false_negative_rate;
     table.push(&[
         "sdnprobe".to_string(),
@@ -75,7 +79,7 @@ fn main() {
     inject_colluding_detours(&mut sn, pairs, 1, seed);
     let config = ProbeConfig {
         suspicion_threshold: 0,
-        ..ProbeConfig::default()
+        ..base
     };
     let r = PerRuleTester::with_config(config)
         .detect(&mut sn.network)
@@ -90,7 +94,7 @@ fn main() {
     // Randomized SDNProbe: the FNR-over-time curve.
     let mut sn = build(seed);
     inject_colluding_detours(&mut sn, pairs, 1, seed);
-    let prober = RandomizedSdnProbe::new(seed);
+    let prober = RandomizedSdnProbe::with_config(base, seed);
     let mut session = prober.session(&sn.network).expect("graph");
     let mut elapsed = session.graph_build_ns();
     let mut zero_at = None;
@@ -100,11 +104,7 @@ fn main() {
         // FNR against switches flagged so far (suspicion persists).
         let flagged = report.faulty_switches.clone();
         let fnr = accuracy(&sn.network, &flagged).false_negative_rate;
-        table.push(&[
-            format!("randomized(r{round})"),
-            f3(secs(elapsed)),
-            f3(fnr),
-        ]);
+        table.push(&[format!("randomized(r{round})"), f3(secs(elapsed)), f3(fnr)]);
         if fnr == 0.0 {
             zero_at = Some(secs(elapsed));
             break;

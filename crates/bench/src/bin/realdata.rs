@@ -8,12 +8,12 @@
 //! workload (DESIGN.md documents the substitution) and benchmarks the
 //! workspace's witness solver in MiniSat's role.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin realdata`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin realdata [--threads N]`
 
 use std::time::Instant;
 
-use sdnprobe::generate;
-use sdnprobe_bench::{f3, summary, ResultTable};
+use sdnprobe::generate_with;
+use sdnprobe_bench::{f3, parallelism, summary, ResultTable};
 use sdnprobe_headerspace::solver::WitnessQuery;
 use sdnprobe_rulegraph::RuleGraph;
 use sdnprobe_workloads::{synthesize_campus, CampusSpec};
@@ -22,7 +22,7 @@ fn main() {
     let campus = synthesize_campus(&CampusSpec::default());
     let started = Instant::now();
     let graph = RuleGraph::from_network(&campus.network).expect("loop-free campus policy");
-    let plan = generate(&graph);
+    let plan = generate_with(&graph, parallelism());
     let pct = started.elapsed().as_secs_f64();
     assert!(plan.covers_all_rules(&graph));
 

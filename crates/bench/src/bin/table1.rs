@@ -2,11 +2,11 @@
 //! classes. Each cell is measured end to end on synthesized networks and
 //! printed as the paper's ✓ / FN / FP annotations.
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin table1 [--runs N]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin table1 [--runs N] [--threads N]`
 
 use sdnprobe::{accuracy, Accuracy, ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_baselines::{Atpg, PerRuleTester};
-use sdnprobe_bench::{arg, summary, ResultTable};
+use sdnprobe_bench::{arg, parallelism, summary, ResultTable};
 use sdnprobe_dataplane::{FaultKind, FaultSpec, Network};
 use sdnprobe_topology::generate::rocketfuel_like;
 use sdnprobe_workloads::{
@@ -42,7 +42,9 @@ fn inject(sn: &mut SyntheticNetwork, fault: Fault, seed: u64) {
     match fault {
         Fault::Single => {
             let e = sn.flows[0].entries[0];
-            sn.network.inject_fault(e, FaultSpec::new(FaultKind::Drop)).unwrap();
+            sn.network
+                .inject_fault(e, FaultSpec::new(FaultKind::Drop))
+                .unwrap();
         }
         Fault::Multiple => {
             inject_random_basic_faults(sn, 0.15, BasicFaultMix::DropOnly, seed);
@@ -84,6 +86,10 @@ fn average(accs: &[Accuracy]) -> Accuracy {
 }
 
 fn main() {
+    let base = ProbeConfig {
+        parallelism: parallelism(),
+        ..ProbeConfig::default()
+    };
     let runs: usize = arg("runs").unwrap_or(5);
     let faults = [
         ("1 faulty node", Fault::Single),
@@ -94,7 +100,13 @@ fn main() {
     ];
     let mut table = ResultTable::new(
         "Table I: detection accuracy (ok / FN / FP), measured",
-        &["fault class", "sdnprobe", "randomized", "per-rule", "intersection"],
+        &[
+            "fault class",
+            "sdnprobe",
+            "randomized",
+            "per-rule",
+            "intersection",
+        ],
     );
 
     let detect_sdn = |net: &mut Network, fault: Fault| {
@@ -102,23 +114,27 @@ fn main() {
             Fault::Intermittent => ProbeConfig {
                 restart_when_idle: true,
                 max_rounds: 200,
-                ..ProbeConfig::default()
+                ..base
             },
-            _ => ProbeConfig::default(),
+            _ => base,
         };
         let r = SdnProbe::with_config(config).detect(net).expect("detect");
         accuracy(net, &r.faulty_switches)
     };
     let detect_rand = |net: &mut Network, seed: u64| {
-        let r = RandomizedSdnProbe::new(seed).detect(net, 60).expect("detect");
+        let r = RandomizedSdnProbe::with_config(base, seed)
+            .detect(net, 60)
+            .expect("detect");
         accuracy(net, &r.faulty_switches)
     };
     let detect_rule = |net: &mut Network| {
         let config = ProbeConfig {
             suspicion_threshold: 0,
-            ..ProbeConfig::default()
+            ..base
         };
-        let r = PerRuleTester::with_config(config).detect(net).expect("detect");
+        let r = PerRuleTester::with_config(config)
+            .detect(net)
+            .expect("detect");
         accuracy(net, &r.faulty_switches)
     };
     let detect_atpg = |net: &mut Network| {

@@ -10,17 +10,18 @@
 //! whole table regenerates in minutes; pass `--scale 1.0` to attempt
 //! paper scale (the paper itself needed 2,549 s for row 5).
 //!
-//! Usage: `cargo run -p sdnprobe-bench --release --bin table2 [--scale F]`
+//! Usage: `cargo run -p sdnprobe-bench --release --bin table2 [--scale F] [--threads N]`
 
 use std::time::Instant;
 
-use sdnprobe::generate;
-use sdnprobe_bench::{arg, f3, flag, summary, ResultTable};
+use sdnprobe::generate_with;
+use sdnprobe_bench::{arg, f3, flag, parallelism, summary, ResultTable};
 use sdnprobe_rulegraph::RuleGraph;
 use sdnprobe_topology::generate::rocketfuel_like;
 use sdnprobe_workloads::{synthesize_to_rule_count, table2_suite};
 
 fn main() {
+    let par = parallelism();
     let scale: f64 = if flag("full") {
         1.0
     } else {
@@ -29,7 +30,9 @@ fn main() {
     let suite = table2_suite(scale);
     let mut table = ResultTable::new(
         format!("Table II: test packet generation (scale {scale})"),
-        &["row", "rules", "switches", "links", "mlps", "alps", "nlps", "tpc", "pct-s"],
+        &[
+            "row", "rules", "switches", "links", "mlps", "alps", "nlps", "tpc", "pct-s",
+        ],
     );
     let paper = [
         (1, 4_764, 6, 4.99, 14_844.0, 954, 2.9),
@@ -49,7 +52,7 @@ fn main() {
                 continue;
             }
         };
-        let plan = generate(&graph);
+        let plan = generate_with(&graph, par);
         let pct = started.elapsed().as_secs_f64();
         let stats = graph.legal_path_stats();
         table.push(&[

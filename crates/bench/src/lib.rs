@@ -12,6 +12,7 @@
 use std::fmt::Display;
 use std::path::Path;
 
+use sdnprobe::Parallelism;
 use serde::Serialize;
 
 /// A printable, JSON-exportable result table.
@@ -100,6 +101,14 @@ pub fn arg<T: std::str::FromStr>(name: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
     let pos = args.iter().position(|a| a == &format!("--{name}"))?;
     args.get(pos + 1)?.parse().ok()
+}
+
+/// The `--threads N` cap shared by every experiment binary: `None`
+/// (flag absent) means all available cores.
+pub fn parallelism() -> Parallelism {
+    Parallelism {
+        threads: arg("threads"),
+    }
 }
 
 /// Nanoseconds → seconds for display.

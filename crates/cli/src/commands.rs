@@ -1,6 +1,6 @@
 //! Command implementations behind the `sdnprobe` binary.
 
-use sdnprobe::{accuracy, Monitor, RandomizedSdnProbe, SdnProbe};
+use sdnprobe::{accuracy, Monitor, Parallelism, ProbeConfig, RandomizedSdnProbe, SdnProbe};
 use sdnprobe_dataplane::{Action, Network};
 use sdnprobe_rulegraph::{Finding, RuleGraph};
 use sdnprobe_topology::generate::rocketfuel_like;
@@ -59,7 +59,13 @@ pub fn scenario_from_network(description: &str, net: &Network) -> ScenarioSpec {
 
 /// `synth`: generate a scenario from the evaluation workload generator,
 /// optionally compromising `faults` random rules with drop faults.
-pub fn synth(switches: usize, links: usize, flows: usize, faults: usize, seed: u64) -> ScenarioSpec {
+pub fn synth(
+    switches: usize,
+    links: usize,
+    flows: usize,
+    faults: usize,
+    seed: u64,
+) -> ScenarioSpec {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let topo = rocketfuel_like(switches, links, seed);
@@ -96,15 +102,27 @@ pub fn synth_campus(seed: u64) -> ScenarioSpec {
     scenario_from_network("campus backbone (550+579 entries)", &campus.network)
 }
 
+/// Builds a [`ProbeConfig`] honouring an optional `--threads` cap.
+fn config_with_threads(threads: Option<usize>) -> ProbeConfig {
+    ProbeConfig {
+        parallelism: Parallelism { threads },
+        ..ProbeConfig::default()
+    }
+}
+
 /// `plan`: probe-plan summary lines for a scenario.
 ///
 /// # Errors
 ///
 /// Returns [`SpecError`] when the scenario is invalid or its policy
 /// loops.
-pub fn plan(spec: &ScenarioSpec, verbose: bool) -> Result<Vec<String>, SpecError> {
+pub fn plan(
+    spec: &ScenarioSpec,
+    verbose: bool,
+    threads: Option<usize>,
+) -> Result<Vec<String>, SpecError> {
     let (net, _) = spec.build()?;
-    let (graph, plan) = SdnProbe::new()
+    let (graph, plan) = SdnProbe::with_config(config_with_threads(threads))
         .plan(&net)
         .map_err(|e| SpecError::Invalid(e.to_string()))?;
     let mut out = vec![
@@ -125,7 +143,10 @@ pub fn plan(spec: &ScenarioSpec, verbose: bool) -> Result<Vec<String>, SpecError
         for (i, p) in plan.probes.iter().enumerate() {
             out.push(format!(
                 "probe {i}: header {} in at s{} out at s{} covering {} rules",
-                p.header, p.entry_switch.0, p.terminal_switch.0, p.path.len()
+                p.header,
+                p.entry_switch.0,
+                p.terminal_switch.0,
+                p.path.len()
             ));
         }
     }
@@ -189,14 +210,16 @@ pub fn detect(
     randomized: bool,
     rounds: usize,
     seed: u64,
+    threads: Option<usize>,
 ) -> Result<Vec<String>, SpecError> {
     let (mut net, _) = spec.build()?;
+    let config = config_with_threads(threads);
     let report = if randomized {
-        RandomizedSdnProbe::new(seed)
+        RandomizedSdnProbe::with_config(config, seed)
             .detect(&mut net, rounds)
             .map_err(|e| SpecError::Invalid(e.to_string()))?
     } else {
-        SdnProbe::new()
+        SdnProbe::with_config(config)
             .detect(&mut net)
             .map_err(|e| SpecError::Invalid(e.to_string()))?
     };
@@ -231,12 +254,20 @@ pub fn detect(
 ///
 /// Returns [`SpecError`] when the scenario is invalid or monitoring
 /// cannot be set up.
-pub fn monitor(spec: &ScenarioSpec, rounds: u64, seed: u64) -> Result<Vec<String>, SpecError> {
+pub fn monitor(
+    spec: &ScenarioSpec,
+    rounds: u64,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<Vec<String>, SpecError> {
     let (mut net, _) = spec.build()?;
-    let mut mon = Monitor::new(&net, seed).map_err(|e| SpecError::Invalid(e.to_string()))?;
+    let mut mon = Monitor::with_config(&net, seed, config_with_threads(threads))
+        .map_err(|e| SpecError::Invalid(e.to_string()))?;
     let mut out = Vec::new();
     for _ in 0..rounds {
-        let event = mon.tick(&mut net).map_err(|e| SpecError::Invalid(e.to_string()))?;
+        let event = mon
+            .tick(&mut net)
+            .map_err(|e| SpecError::Invalid(e.to_string()))?;
         if event.has_news() {
             out.push(format!(
                 "round {}: newly flagged {:?} (total {:?})",
@@ -292,7 +323,8 @@ pub fn trace(spec: &ScenarioSpec, at: usize, header: &str) -> Result<Vec<String>
             "hop {i}: s{} {} matched rule #{} with header {}",
             step.switch.0,
             step.table,
-            rule.map(|r| r.to_string()).unwrap_or_else(|| "?".to_string()),
+            rule.map(|r| r.to_string())
+                .unwrap_or_else(|| "?".to_string()),
             step.header
         ));
     }
@@ -313,8 +345,11 @@ mod tests {
         assert!(spec.rules.len() > 10);
         let json = spec.to_json();
         let back = ScenarioSpec::from_json(&json).unwrap();
-        let lines = plan(&back, false).unwrap();
+        let lines = plan(&back, false, None).unwrap();
         assert!(lines[1].contains("minimum probe set"));
+        // A --threads cap never changes the plan.
+        assert_eq!(lines, plan(&back, false, Some(1)).unwrap());
+        assert_eq!(lines, plan(&back, false, Some(8)).unwrap());
     }
 
     #[test]
@@ -327,8 +362,9 @@ mod tests {
     #[test]
     fn detect_reports_declared_faults() {
         let mut spec = synth(8, 14, 12, 0, 5);
-        spec.faults.push(crate::spec::FaultSpecDef::Drop { rule: 0 });
-        let lines = detect(&spec, false, 1, 7).unwrap();
+        spec.faults
+            .push(crate::spec::FaultSpecDef::Drop { rule: 0 });
+        let lines = detect(&spec, false, 1, 7, None).unwrap();
         assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
     }
 
@@ -368,19 +404,17 @@ mod tests {
     fn synth_with_faults_is_detectable() {
         let spec = synth(10, 18, 15, 2, 11);
         assert_eq!(spec.faults.len(), 2);
-        let lines = detect(&spec, false, 1, 7).unwrap();
+        let lines = detect(&spec, false, 1, 7, Some(2)).unwrap();
         assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
     }
 
     #[test]
     fn monitor_flags_declared_faults() {
         let mut spec = synth(10, 18, 15, 0, 13);
-        spec.faults.push(crate::spec::FaultSpecDef::Drop { rule: 3 });
-        let lines = monitor(&spec, 20, 5).unwrap();
-        assert!(
-            lines.iter().any(|l| l.contains("FNR 0.000")),
-            "{lines:?}"
-        );
+        spec.faults
+            .push(crate::spec::FaultSpecDef::Drop { rule: 3 });
+        let lines = monitor(&spec, 20, 5, None).unwrap();
+        assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
     }
 
     #[test]
@@ -403,7 +437,7 @@ mod tests {
     #[test]
     fn plan_verbose_lists_probes() {
         let spec = synth(6, 10, 8, 0, 9);
-        let lines = plan(&spec, true).unwrap();
+        let lines = plan(&spec, true, None).unwrap();
         assert!(lines.iter().any(|l| l.starts_with("probe 0:")));
     }
 }

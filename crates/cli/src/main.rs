@@ -3,16 +3,21 @@
 //! ```text
 //! sdnprobe synth   --switches 20 --links 36 --flows 40 --seed 7 -o scenario.json
 //! sdnprobe synth   --campus -o campus.json
-//! sdnprobe plan    scenario.json [--verbose]
+//! sdnprobe plan    scenario.json [--verbose] [--threads N]
 //! sdnprobe diagnose scenario.json
-//! sdnprobe detect  scenario.json [--randomized --rounds 20] [--seed 7]
-//! sdnprobe monitor scenario.json [--rounds 50] [--seed 7]
+//! sdnprobe detect  scenario.json [--randomized --rounds 20] [--seed 7] [--threads N]
+//! sdnprobe monitor scenario.json [--rounds 50] [--seed 7] [--threads N]
 //! sdnprobe trace   scenario.json --at 0 --header 00000000...
 //! ```
 //!
 //! Scenarios are JSON documents (see `spec` module): topology, flow
 //! rules, and optional injected faults. `synth` generates them from the
 //! evaluation workload generator; the other commands consume them.
+//!
+//! `--threads N` caps the worker threads used by the parallel pipeline
+//! stages (path expansion, witness solving, probe sends). The default is
+//! every available core; `--threads 1` forces the sequential path.
+//! Results are identical at any setting.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,7 +31,7 @@ use spec::ScenarioSpec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdnprobe synth [--switches N] [--links N] [--flows N] [--faults N] [--seed N] [--campus] -o FILE\n  sdnprobe plan FILE [--verbose]\n  sdnprobe diagnose FILE\n  sdnprobe detect FILE [--randomized] [--rounds N] [--seed N]\n  sdnprobe trace FILE --at SWITCH --header BITS\n  sdnprobe monitor FILE [--rounds N] [--seed N]"
+        "usage:\n  sdnprobe synth [--switches N] [--links N] [--flows N] [--faults N] [--seed N] [--campus] -o FILE\n  sdnprobe plan FILE [--verbose] [--threads N]\n  sdnprobe diagnose FILE\n  sdnprobe detect FILE [--randomized] [--rounds N] [--seed N] [--threads N]\n  sdnprobe trace FILE --at SWITCH --header BITS\n  sdnprobe monitor FILE [--rounds N] [--seed N] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -71,12 +76,16 @@ fn main() -> ExitCode {
             }
         }
         "plan" => match args.get(1) {
-            Some(path) => load(path)
-                .and_then(|s| commands::plan(&s, flag(&args, "--verbose")).map_err(|e| e.to_string())),
+            Some(path) => load(path).and_then(|s| {
+                commands::plan(&s, flag(&args, "--verbose"), value(&args, "--threads"))
+                    .map_err(|e| e.to_string())
+            }),
             None => return usage(),
         },
         "diagnose" => match args.get(1) {
-            Some(path) => load(path).and_then(|s| commands::diagnose(&s).map_err(|e| e.to_string())),
+            Some(path) => {
+                load(path).and_then(|s| commands::diagnose(&s).map_err(|e| e.to_string()))
+            }
             None => return usage(),
         },
         "monitor" => match args.get(1) {
@@ -85,6 +94,7 @@ fn main() -> ExitCode {
                     &s,
                     value(&args, "--rounds").unwrap_or(20),
                     value(&args, "--seed").unwrap_or(7),
+                    value(&args, "--threads"),
                 )
                 .map_err(|e| e.to_string())
             }),
@@ -105,6 +115,7 @@ fn main() -> ExitCode {
                     flag(&args, "--randomized"),
                     value(&args, "--rounds").unwrap_or(10),
                     value(&args, "--seed").unwrap_or(7),
+                    value(&args, "--threads"),
                 )
                 .map_err(|e| e.to_string())
             }),

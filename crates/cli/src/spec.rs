@@ -6,12 +6,12 @@
 //! statically. `sdnprobe synth` writes these; `plan`, `diagnose`, and
 //! `detect` consume them.
 
-use serde::{Deserialize, Serialize};
 use sdnprobe_dataplane::{
     Action, Activation, EntryId, FaultKind, FaultSpec, FlowEntry, Network, TableId,
 };
 use sdnprobe_headerspace::Ternary;
 use sdnprobe_topology::{PortId, SwitchId, Topology};
+use serde::{Deserialize, Serialize};
 
 /// Errors when loading or building a scenario.
 #[derive(Debug)]
@@ -339,11 +339,15 @@ mod tests {
         let (net, entries) = spec.build().unwrap();
         assert!(net.fault(entries[1]).is_some());
         // Only the targeted header dies.
-        assert!(net.inject(SwitchId(0), Header::new(0, 8)).observation().is_none()
-            || matches!(
-                net.inject(SwitchId(0), Header::new(0, 8)).outcome,
-                Outcome::Dropped { .. }
-            ));
+        assert!(
+            net.inject(SwitchId(0), Header::new(0, 8))
+                .observation()
+                .is_none()
+                || matches!(
+                    net.inject(SwitchId(0), Header::new(0, 8)).outcome,
+                    Outcome::Dropped { .. }
+                )
+        );
         assert!(matches!(
             net.inject(SwitchId(0), Header::new(0b100, 8)).outcome,
             Outcome::LeftNetwork { .. }

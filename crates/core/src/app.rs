@@ -14,11 +14,13 @@ use rand::SeedableRng;
 use sdnprobe_dataplane::{Network, NetworkError};
 use sdnprobe_rulegraph::{RuleGraph, RuleGraphError};
 
-use crate::generation::{generate, generate_randomized, generate_randomized_weighted};
-use crate::traffic::TrafficProfile;
+use crate::generation::{
+    generate_randomized_weighted_with, generate_randomized_with, generate_with,
+};
 use crate::localize::{DetectionReport, FaultLocalizer, ProbeConfig};
 use crate::plan::TestPlan;
 use crate::probe::ProbeHarness;
+use crate::traffic::TrafficProfile;
 
 /// Errors from a full detection run.
 #[derive(Debug)]
@@ -96,7 +98,7 @@ impl SdnProbe {
     /// rules.
     pub fn plan(&self, net: &Network) -> Result<(RuleGraph, TestPlan), RuleGraphError> {
         let graph = RuleGraph::from_network(net)?;
-        let plan = generate(&graph);
+        let plan = generate_with(&graph, self.config.parallelism);
         Ok((graph, plan))
     }
 
@@ -241,21 +243,21 @@ impl RandomizedSession {
         profile: Option<&TrafficProfile>,
     ) -> Result<DetectionReport, DetectError> {
         let started = Instant::now();
+        let parallelism = self.config.parallelism;
         let plan = match profile {
-            Some(p) => generate_randomized_weighted(&self.graph, &mut self.rng, p),
-            None => generate_randomized(&self.graph, &mut self.rng),
+            Some(p) => {
+                generate_randomized_weighted_with(&self.graph, &mut self.rng, p, parallelism)
+            }
+            None => generate_randomized_with(&self.graph, &mut self.rng, parallelism),
         };
         let generation_ns = started.elapsed().as_nanos() as u64;
         let mut harness = ProbeHarness::new();
         let probes = harness.install_plan(net, &self.graph, &plan)?;
         // Each step runs localization to quiescence on this round's
         // paths; restart_when_idle is handled by calling step again.
-        let mut report = self
-            .localizer
-            .run(net, &self.graph, &mut harness, probes)?;
+        let mut report = self.localizer.run(net, &self.graph, &mut harness, probes)?;
         report.generation_ns = generation_ns;
         harness.teardown(net)?;
-        let _ = self.config;
         Ok(report)
     }
 }
@@ -263,9 +265,7 @@ impl RandomizedSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdnprobe_dataplane::{
-        Action, Activation, FaultKind, FaultSpec, FlowEntry, TableId,
-    };
+    use sdnprobe_dataplane::{Action, Activation, FaultKind, FaultSpec, FlowEntry, TableId};
     use sdnprobe_headerspace::Ternary;
     use sdnprobe_topology::{PortId, SwitchId, Topology};
 
@@ -292,11 +292,36 @@ mod tests {
         let p02 = p(&net, 0, 2);
         let p13 = p(&net, 1, 3);
         let p23 = p(&net, 2, 3);
-        net.install(SwitchId(0), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p01))).unwrap();
-        net.install(SwitchId(0), TableId(0), FlowEntry::new(t("01xxxxxx"), Action::Output(p02))).unwrap();
-        net.install(SwitchId(1), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p13))).unwrap();
-        net.install(SwitchId(2), TableId(0), FlowEntry::new(t("01xxxxxx"), Action::Output(p23))).unwrap();
-        net.install(SwitchId(3), TableId(0), FlowEntry::new(t("0xxxxxxx"), Action::Output(PortId(40)))).unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p01)),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("01xxxxxx"), Action::Output(p02)),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p13)),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(2),
+            TableId(0),
+            FlowEntry::new(t("01xxxxxx"), Action::Output(p23)),
+        )
+        .unwrap();
+        net.install(
+            SwitchId(3),
+            TableId(0),
+            FlowEntry::new(t("0xxxxxxx"), Action::Output(PortId(40))),
+        )
+        .unwrap();
         net
     }
 
@@ -312,7 +337,8 @@ mod tests {
     fn static_detect_single_fault() {
         let mut net = diamond();
         let victim = net.entries_on(SwitchId(1))[0];
-        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         let report = SdnProbe::new().detect(&mut net).unwrap();
         assert_eq!(report.faulty_switches, vec![SwitchId(1)]);
         assert!(report.generation_ns > 0);
@@ -334,9 +360,7 @@ mod tests {
         let victim = net.entries_on(SwitchId(1))[0];
         net.inject_fault(
             victim,
-            FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(
-                t("0011xxxx"),
-            )),
+            FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(t("0011xxxx"))),
         )
         .unwrap();
         // Static SDNProbe misses it (header differs from min header).

@@ -22,7 +22,8 @@ use std::collections::HashMap;
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use sdnprobe_headerspace::solver::WitnessQuery;
-use sdnprobe_headerspace::{Header, Ternary};
+use sdnprobe_headerspace::{Header, HeaderSet, Ternary};
+use sdnprobe_parallel::{parallel_map, Parallelism};
 use sdnprobe_rulegraph::{RuleGraph, VertexId};
 
 use crate::plan::{PlannedProbe, TestPlan};
@@ -42,38 +43,92 @@ enum HeaderPick<'t> {
 
 /// Generates the minimum set of test packets for a rule graph
 /// (Algorithm 1: bipartite graph → modified Hopcroft–Karp with legal
-/// augmenting paths → header construction).
+/// augmenting paths → header construction), using every available core
+/// for the per-path expansion stage.
+///
+/// Equivalent to [`generate_with`] with [`Parallelism::auto`].
 ///
 /// # Examples
 ///
 /// See the crate-level example in [`crate`].
 pub fn generate(graph: &RuleGraph) -> TestPlan {
+    generate_with(graph, Parallelism::auto())
+}
+
+/// [`generate`] with an explicit thread budget.
+///
+/// The augmenting-path matching phase is inherently sequential and runs
+/// on the calling thread regardless of `parallelism`; only the per-path
+/// legal expansion fans out. The returned plan is bit-identical for any
+/// thread count — see `DESIGN.md` § Concurrency model.
+pub fn generate_with(graph: &RuleGraph, parallelism: Parallelism) -> TestPlan {
     let mut matcher = LegalMatcher::new(graph);
     matcher.run_maximum();
-    build_plan(graph, &matcher, HeaderPick::Deterministic, &mut NoRng)
+    build_plan(
+        graph,
+        &matcher,
+        HeaderPick::Deterministic,
+        &mut NoRng,
+        parallelism,
+    )
 }
 
 /// Generates a randomized test plan: randomized greedy legal matching
 /// (different tested paths every call) plus randomized header selection
 /// within each path's header space.
+///
+/// Equivalent to [`generate_randomized_with`] with [`Parallelism::auto`].
 pub fn generate_randomized(graph: &RuleGraph, rng: &mut impl RngCore) -> TestPlan {
+    generate_randomized_with(graph, rng, Parallelism::auto())
+}
+
+/// [`generate_randomized`] with an explicit thread budget.
+///
+/// All RNG consumption (matching order, path breaks, header sampling)
+/// happens on the calling thread in a fixed order, so for a fixed seed
+/// the plan is bit-identical at every thread count.
+pub fn generate_randomized_with(
+    graph: &RuleGraph,
+    rng: &mut impl RngCore,
+    parallelism: Parallelism,
+) -> TestPlan {
     let mut matcher = LegalMatcher::new(graph);
     matcher.run_randomized_greedy(rng);
-    build_plan(graph, &matcher, HeaderPick::Random, rng)
+    build_plan(graph, &matcher, HeaderPick::Random, rng, parallelism)
 }
 
 /// Like [`generate_randomized`], but probe headers are preferentially
 /// drawn from headers observed in real traffic on the tested path's
 /// switches (the paper's sFlow-based sampling). Falls back to uniform
 /// sampling for paths where no observed header fits `HS(ℓ)`.
+///
+/// Equivalent to [`generate_randomized_weighted_with`] with
+/// [`Parallelism::auto`].
 pub fn generate_randomized_weighted(
     graph: &RuleGraph,
     rng: &mut impl RngCore,
     profile: &TrafficProfile,
 ) -> TestPlan {
+    generate_randomized_weighted_with(graph, rng, profile, Parallelism::auto())
+}
+
+/// [`generate_randomized_weighted`] with an explicit thread budget; same
+/// determinism guarantee as [`generate_randomized_with`].
+pub fn generate_randomized_weighted_with(
+    graph: &RuleGraph,
+    rng: &mut impl RngCore,
+    profile: &TrafficProfile,
+    parallelism: Parallelism,
+) -> TestPlan {
     let mut matcher = LegalMatcher::new(graph);
     matcher.run_randomized_greedy(rng);
-    build_plan(graph, &matcher, HeaderPick::TrafficWeighted(profile), rng)
+    build_plan(
+        graph,
+        &matcher,
+        HeaderPick::TrafficWeighted(profile),
+        rng,
+        parallelism,
+    )
 }
 
 /// Fallback RNG for the deterministic path (never actually used to pick
@@ -269,13 +324,23 @@ fn build_plan(
     matcher: &LegalMatcher<'_>,
     pick: HeaderPick<'_>,
     rng: &mut impl RngCore,
+    parallelism: Parallelism,
 ) -> TestPlan {
+    let covers = matcher.cover_paths();
+    // Stage 1 (parallel): legal expansion of each cover path. Each
+    // expansion reads only the immutable graph, so the fan-out cannot
+    // change any result; `parallel_map` returns them in cover order.
+    let expanded: Vec<(Vec<VertexId>, HeaderSet)> = parallel_map(parallelism, &covers, |cover| {
+        graph
+            .expand_cover_path(cover)
+            .expect("matcher maintains the legality invariant")
+    });
+    // Stage 2 (sequential, in cover order): header selection consumes
+    // the RNG and deduplicates against `taken`, so it must run in the
+    // original order to keep plans bit-identical across thread counts.
     let mut probes = Vec::new();
     let mut taken: Vec<Header> = Vec::new();
-    for cover in matcher.cover_paths() {
-        let (path, header_space) = graph
-            .expand_cover_path(&cover)
-            .expect("matcher maintains the legality invariant");
+    for (cover, (path, header_space)) in covers.into_iter().zip(expanded) {
         let header = choose_header(graph, &path, &header_space, &taken, pick, rng)
             // Header spaces exhausted by uniqueness constraints are
             // practically impossible (spaces ≫ probe count); fall back to
@@ -358,9 +423,17 @@ mod tests {
 
     /// The paper's Figure 3 network (same construction as the rulegraph
     /// tests).
-    fn figure3() -> (Network, std::collections::HashMap<&'static str, sdnprobe_dataplane::EntryId>)
-    {
-        let (a, b, c, d, e) = (SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3), SwitchId(4));
+    fn figure3() -> (
+        Network,
+        std::collections::HashMap<&'static str, sdnprobe_dataplane::EntryId>,
+    ) {
+        let (a, b, c, d, e) = (
+            SwitchId(0),
+            SwitchId(1),
+            SwitchId(2),
+            SwitchId(3),
+            SwitchId(4),
+        );
         let mut topo = Topology::new(5);
         topo.add_link(a, b);
         topo.add_link(b, c);
@@ -374,20 +447,100 @@ mod tests {
         };
         let host = PortId(9);
         let p = port(&net, a, b);
-        ids.insert("a1", net.install(a, TableId(0), FlowEntry::new(t("00101xxx"), Action::Output(p))).unwrap());
+        ids.insert(
+            "a1",
+            net.install(
+                a,
+                TableId(0),
+                FlowEntry::new(t("00101xxx"), Action::Output(p)),
+            )
+            .unwrap(),
+        );
         let p = port(&net, b, c);
-        ids.insert("b1", net.install(b, TableId(0), FlowEntry::new(t("0010xxxx"), Action::Output(p)).with_priority(2)).unwrap());
-        ids.insert("b2", net.install(b, TableId(0), FlowEntry::new(t("0011xxxx"), Action::Output(p)).with_priority(1)).unwrap());
+        ids.insert(
+            "b1",
+            net.install(
+                b,
+                TableId(0),
+                FlowEntry::new(t("0010xxxx"), Action::Output(p)).with_priority(2),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "b2",
+            net.install(
+                b,
+                TableId(0),
+                FlowEntry::new(t("0011xxxx"), Action::Output(p)).with_priority(1),
+            )
+            .unwrap(),
+        );
         let p = port(&net, b, d);
-        ids.insert("b3", net.install(b, TableId(0), FlowEntry::new(t("000xxxxx"), Action::Output(p)).with_priority(0)).unwrap());
+        ids.insert(
+            "b3",
+            net.install(
+                b,
+                TableId(0),
+                FlowEntry::new(t("000xxxxx"), Action::Output(p)).with_priority(0),
+            )
+            .unwrap(),
+        );
         let p = port(&net, c, e);
-        ids.insert("c1", net.install(c, TableId(0), FlowEntry::new(t("00100xxx"), Action::Output(p)).with_priority(2)).unwrap());
-        ids.insert("c2", net.install(c, TableId(0), FlowEntry::new(t("001xxxxx"), Action::Output(p)).with_priority(1)).unwrap());
+        ids.insert(
+            "c1",
+            net.install(
+                c,
+                TableId(0),
+                FlowEntry::new(t("00100xxx"), Action::Output(p)).with_priority(2),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "c2",
+            net.install(
+                c,
+                TableId(0),
+                FlowEntry::new(t("001xxxxx"), Action::Output(p)).with_priority(1),
+            )
+            .unwrap(),
+        );
         let p = port(&net, d, e);
-        ids.insert("d1", net.install(d, TableId(0), FlowEntry::new(t("000xxxxx"), Action::Output(p)).with_set_field(t("0111xxxx"))).unwrap());
-        ids.insert("e1", net.install(e, TableId(0), FlowEntry::new(t("0010xxxx"), Action::Output(host)).with_priority(2)).unwrap());
-        ids.insert("e2", net.install(e, TableId(0), FlowEntry::new(t("001xxxxx"), Action::Output(host)).with_priority(1)).unwrap());
-        ids.insert("e3", net.install(e, TableId(0), FlowEntry::new(t("0111xxxx"), Action::Output(host)).with_priority(0)).unwrap());
+        ids.insert(
+            "d1",
+            net.install(
+                d,
+                TableId(0),
+                FlowEntry::new(t("000xxxxx"), Action::Output(p)).with_set_field(t("0111xxxx")),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "e1",
+            net.install(
+                e,
+                TableId(0),
+                FlowEntry::new(t("0010xxxx"), Action::Output(host)).with_priority(2),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "e2",
+            net.install(
+                e,
+                TableId(0),
+                FlowEntry::new(t("001xxxxx"), Action::Output(host)).with_priority(1),
+            )
+            .unwrap(),
+        );
+        ids.insert(
+            "e3",
+            net.install(
+                e,
+                TableId(0),
+                FlowEntry::new(t("0111xxxx"), Action::Output(host)).with_priority(0),
+            )
+            .unwrap(),
+        );
         (net, ids)
     }
 
@@ -471,9 +624,7 @@ mod tests {
         let g = RuleGraph::from_network(&net).unwrap();
         let min = generate(&g).packet_count();
         let total: usize = (0..50)
-            .map(|seed| {
-                generate_randomized(&g, &mut StdRng::seed_from_u64(seed)).packet_count()
-            })
+            .map(|seed| generate_randomized(&g, &mut StdRng::seed_from_u64(seed)).packet_count())
             .sum();
         let avg = total as f64 / 50.0;
         assert!(avg >= min as f64, "randomized can never beat the minimum");
@@ -504,7 +655,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         let dead = net
             .install(
                 SwitchId(0),

@@ -53,9 +53,13 @@ mod probe;
 mod traffic;
 
 pub use app::{DetectError, RandomizedSdnProbe, RandomizedSession, SdnProbe};
-pub use monitor::{Monitor, MonitorEvent};
-pub use generation::{generate, generate_randomized, generate_randomized_weighted};
-pub use traffic::TrafficProfile;
+pub use generation::{
+    generate, generate_randomized, generate_randomized_weighted, generate_randomized_weighted_with,
+    generate_randomized_with, generate_with,
+};
 pub use localize::{accuracy, Accuracy, DetectionReport, FaultLocalizer, ProbeConfig};
+pub use monitor::{Monitor, MonitorEvent};
 pub use plan::{PlannedProbe, TestPlan};
 pub use probe::{ActiveProbe, ProbeHarness};
+pub use sdnprobe_parallel::Parallelism;
+pub use traffic::TrafficProfile;

@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use sdnprobe_dataplane::{EntryId, Network, NetworkError};
+use sdnprobe_parallel::Parallelism;
 use sdnprobe_rulegraph::RuleGraph;
 use sdnprobe_topology::SwitchId;
 
@@ -37,6 +38,11 @@ pub struct ProbeConfig {
     /// (Algorithm 2 lines 15–16) — needed to catch intermittent faults;
     /// `false` terminates once the network looks clean.
     pub restart_when_idle: bool,
+    /// Thread budget for the parallel phases (probe sends, path
+    /// expansion, batch witness solving). Defaults to all available
+    /// cores; results are identical at any setting — see `DESIGN.md`
+    /// § Concurrency model.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ProbeConfig {
@@ -48,6 +54,7 @@ impl Default for ProbeConfig {
             round_trip_ns: 50_000_000, // 50 ms
             max_rounds: 64,
             restart_when_idle: false,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -167,9 +174,15 @@ impl FaultLocalizer {
             report.bytes_sent += bytes;
             report.elapsed_ns += send_ns + self.config.round_trip_ns;
 
+            // Phase 1 (parallel): send the whole round. Injection only
+            // reads the network, so fanning out cannot change outcomes.
+            let passed = harness.send_batch(net, &active, self.config.parallelism);
+            // Phase 2 (sequential, in probe order): suspicion updates,
+            // slicing, and flagging mutate shared state and must run in
+            // the same order a single-threaded round would.
             let mut next = Vec::new();
-            for probe in active {
-                if harness.send(net, &probe) {
+            for (probe, ok) in active.into_iter().zip(passed) {
+                if ok {
                     continue;
                 }
                 // Suspected path: raise suspicion on every on-path rule.
@@ -281,18 +294,18 @@ mod tests {
             } else {
                 Action::Output(PortId(40))
             };
-            net.install(SwitchId(i), TableId(0), FlowEntry::new(t("00xxxxxx"), action))
-                .unwrap();
+            net.install(
+                SwitchId(i),
+                TableId(0),
+                FlowEntry::new(t("00xxxxxx"), action),
+            )
+            .unwrap();
         }
         let graph = RuleGraph::from_network(&net).unwrap();
         (net, graph)
     }
 
-    fn run_detection(
-        net: &mut Network,
-        graph: &RuleGraph,
-        config: ProbeConfig,
-    ) -> DetectionReport {
+    fn run_detection(net: &mut Network, graph: &RuleGraph, config: ProbeConfig) -> DetectionReport {
         let plan = generate(graph);
         let mut harness = ProbeHarness::new();
         let probes = harness.install_plan(net, graph, &plan).unwrap();
@@ -317,7 +330,8 @@ mod tests {
         let (mut net, graph) = line5();
         // Fault on switch 2's rule.
         let victim = net.entries_on(SwitchId(2))[0];
-        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         let report = run_detection(&mut net, &graph, ProbeConfig::default());
         assert_eq!(report.faulty_switches, vec![SwitchId(2)]);
         assert_eq!(report.faulty_rules, vec![victim]);
@@ -341,7 +355,10 @@ mod tests {
         let (mut net, graph) = line5();
         let victim = net.entries_on(SwitchId(3))[0];
         // Misdirect back toward switch 2.
-        let back = net.topology().port_towards(SwitchId(3), SwitchId(2)).unwrap();
+        let back = net
+            .topology()
+            .port_towards(SwitchId(3), SwitchId(2))
+            .unwrap();
         net.inject_fault(victim, FaultSpec::new(FaultKind::Misdirect(back)))
             .unwrap();
         let report = run_detection(&mut net, &graph, ProbeConfig::default());
@@ -353,8 +370,10 @@ mod tests {
         let (mut net, graph) = line5();
         let v1 = net.entries_on(SwitchId(1))[0];
         let v3 = net.entries_on(SwitchId(3))[0];
-        net.inject_fault(v1, FaultSpec::new(FaultKind::Drop)).unwrap();
-        net.inject_fault(v3, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(v1, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
+        net.inject_fault(v3, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         let report = run_detection(&mut net, &graph, ProbeConfig::default());
         // Note: the drop at switch 1 masks switch 3 for full-path probes,
         // but slicing isolates each half independently, so both are
@@ -400,9 +419,8 @@ mod tests {
         let victim = net.entries_on(SwitchId(2))[0];
         net.inject_fault(
             victim,
-            FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(
-                Ternary::from_header(victim_header),
-            )),
+            FaultSpec::new(FaultKind::Drop)
+                .with_activation(Activation::Targeting(Ternary::from_header(victim_header))),
         )
         .unwrap();
         let report = run_detection(&mut net, &graph, ProbeConfig::default());
@@ -419,7 +437,8 @@ mod tests {
     fn suspicion_accumulates_across_runs() {
         let (mut net, graph) = line5();
         let victim = net.entries_on(SwitchId(2))[0];
-        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         // Four rounds per run reaches a singleton probe exactly once
         // (full path → halves → quarters → singleton), so a threshold of
         // 10 can only be crossed by accumulating over several run()
@@ -435,7 +454,9 @@ mod tests {
         let mut flagged = false;
         for _ in 0..12 {
             let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
-            let report = localizer.run(&mut net, &graph, &mut harness, probes).unwrap();
+            let report = localizer
+                .run(&mut net, &graph, &mut harness, probes)
+                .unwrap();
             if report.faulty_switches == vec![SwitchId(2)] {
                 flagged = true;
                 break;

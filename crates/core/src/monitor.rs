@@ -7,6 +7,12 @@
 //! paper's Algorithm 2 implies: a randomized session whose suspicion
 //! persists, optional sFlow-style traffic weighting, and a stream of
 //! per-round [`MonitorEvent`]s for the operator.
+//!
+//! Each tick regenerates paths and headers and fans the round's probe
+//! sends out across threads per
+//! [`ProbeConfig::parallelism`](crate::ProbeConfig) (the CLI's
+//! `--threads` flag). Thread count never changes what a monitor flags —
+//! only how fast a round completes; see DESIGN.md § Concurrency model.
 
 use sdnprobe_dataplane::Network;
 use sdnprobe_rulegraph::RuleGraphError;
@@ -82,7 +88,35 @@ impl Monitor {
         Self::with_config(net, seed, ProbeConfig::default())
     }
 
-    /// Opens a monitor with custom probing parameters.
+    /// Opens a monitor with custom probing parameters — e.g. a
+    /// suspicion threshold, or an explicit thread budget for the
+    /// per-round probe fan-out.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdnprobe::{Monitor, Parallelism, ProbeConfig};
+    /// use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+    /// use sdnprobe_topology::{PortId, SwitchId, Topology};
+    ///
+    /// let mut topo = Topology::new(2);
+    /// topo.add_link(SwitchId(0), SwitchId(1));
+    /// let mut net = Network::new(topo);
+    /// let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+    /// net.install(SwitchId(0), TableId(0),
+    ///     FlowEntry::new("00xxxxxx".parse()?, Action::Output(p)))?;
+    /// net.install(SwitchId(1), TableId(0),
+    ///     FlowEntry::new("00xxxxxx".parse()?, Action::Output(PortId(40))))?;
+    ///
+    /// let config = ProbeConfig {
+    ///     parallelism: Parallelism::with_threads(2),
+    ///     ..ProbeConfig::default()
+    /// };
+    /// let mut monitor = Monitor::with_config(&net, 7, config)?;
+    /// let event = monitor.tick(&mut net)?;
+    /// assert!(event.flagged.is_empty(), "healthy network");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -230,7 +264,8 @@ mod tests {
         assert!(!monitor.tick(&mut net).unwrap().has_news());
         // The switch is compromised *while* monitoring runs.
         let victim = net.entries_on(SwitchId(1))[0];
-        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(victim, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         let event = monitor.run_until_news(&mut net, 20).unwrap();
         assert_eq!(event.newly_flagged, vec![SwitchId(1)]);
         assert_eq!(monitor.flagged(), &[SwitchId(1)]);

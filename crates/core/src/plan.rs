@@ -1,4 +1,39 @@
 //! Test plans: the output of test-packet generation.
+//!
+//! A [`TestPlan`] is what the generators in [`crate::generation`]
+//! return: one [`PlannedProbe`] per legal cover path, plus the set of
+//! fully shadowed rules no packet can ever reach. Plans are plain data
+//! — generating one does not touch the network; installing and sending
+//! it is [`crate::ProbeHarness`]'s job.
+//!
+//! Plans are deterministic: for a fixed policy (and, for the randomized
+//! generators, a fixed seed) the same plan is produced at any thread
+//! count — see DESIGN.md § Concurrency model.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdnprobe::generate;
+//! use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+//! use sdnprobe_rulegraph::RuleGraph;
+//! use sdnprobe_topology::{PortId, SwitchId, Topology};
+//!
+//! let mut topo = Topology::new(2);
+//! topo.add_link(SwitchId(0), SwitchId(1));
+//! let mut net = Network::new(topo);
+//! let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+//! net.install(SwitchId(0), TableId(0),
+//!     FlowEntry::new("00xxxxxx".parse()?, Action::Output(p)))?;
+//! net.install(SwitchId(1), TableId(0),
+//!     FlowEntry::new("00xxxxxx".parse()?, Action::Output(PortId(40))))?;
+//!
+//! let graph = RuleGraph::from_network(&net)?;
+//! let plan = generate(&graph);
+//! // Two chained rules are covered by a single test packet.
+//! assert_eq!(plan.packet_count(), 1);
+//! assert!(plan.covers_all_rules(&graph));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use sdnprobe_headerspace::{Header, HeaderSet};
 use sdnprobe_rulegraph::{RuleGraph, VertexId};
@@ -6,6 +41,11 @@ use sdnprobe_topology::SwitchId;
 
 /// One planned probe: a tested path and the concrete packet exercising
 /// it.
+///
+/// The probe is injected at [`PlannedProbe::entry_switch`] carrying
+/// [`PlannedProbe::header`]; a healthy data plane forwards it along
+/// [`PlannedProbe::path`] until the terminal rule's test entry returns
+/// it to the controller (the paper's Fig. 7 instrumentation).
 #[derive(Debug, Clone)]
 pub struct PlannedProbe {
     /// The cover path over legal-closure edges (what the matching
@@ -27,6 +67,10 @@ pub struct PlannedProbe {
 
 /// A complete test plan: the minimum (or randomized) probe set plus any
 /// rules that cannot be exercised.
+///
+/// Produced by [`crate::generate`] and its randomized variants; consumed
+/// by [`crate::ProbeHarness::install_plan`]. See the module docs for a
+/// worked example.
 #[derive(Debug, Clone)]
 pub struct TestPlan {
     /// The probes, one per legal cover path.
@@ -43,6 +87,15 @@ impl TestPlan {
     }
 
     /// Total probe bytes sent per round, given a per-probe size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdnprobe::TestPlan;
+    ///
+    /// let empty = TestPlan { probes: Vec::new(), shadowed: Vec::new() };
+    /// assert_eq!(empty.bytes_per_round(64), 0);
+    /// ```
     pub fn bytes_per_round(&self, probe_bytes: usize) -> usize {
         self.probes.len() * probe_bytes
     }

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 
 use sdnprobe_dataplane::{Action, EntryId, FlowEntry, Network, NetworkError, TableId};
 use sdnprobe_headerspace::Header;
+use sdnprobe_parallel::{parallel_map, Parallelism};
 use sdnprobe_rulegraph::{RuleGraph, VertexId};
 use sdnprobe_topology::SwitchId;
 
@@ -142,10 +143,14 @@ impl ProbeHarness {
         };
         // Step 1 + 3: copy the rule into the duplicate, rewrite original.
         if !self.rewritten.contains_key(&vert.entry) {
-            let original = *net.entry(vert.entry).ok_or(NetworkError::UnknownEntry(vert.entry))?;
-            let copied_match = original.match_field().apply_set_field(&original.set_field());
-            let copy = FlowEntry::new(copied_match, original.action())
-                .with_priority(original.priority());
+            let original = *net
+                .entry(vert.entry)
+                .ok_or(NetworkError::UnknownEntry(vert.entry))?;
+            let copied_match = original
+                .match_field()
+                .apply_set_field(&original.set_field());
+            let copy =
+                FlowEntry::new(copied_match, original.action()).with_priority(original.priority());
             let copy_id = net.install(switch, table, copy)?;
             net.replace_entry(vert.entry, original.with_action(Action::GotoTable(table)))?;
             self.rewritten.insert(vert.entry, (original, copy_id));
@@ -169,6 +174,23 @@ impl ProbeHarness {
     pub fn send(&self, net: &Network, probe: &ActiveProbe) -> bool {
         let trace = net.inject(probe.entry_switch, probe.header);
         trace.observation() == Some((probe.expected_switch, probe.expected_header))
+    }
+
+    /// Sends a whole round of probes, fanning out across `parallelism`
+    /// threads, and reports each probe's pass/fail in input order.
+    ///
+    /// Injection is read-only on the network (the harness and network
+    /// are only borrowed immutably), so concurrent sends observe exactly
+    /// the state a sequential loop would: `send_batch` returns the same
+    /// booleans as mapping [`ProbeHarness::send`] over `probes`, at any
+    /// thread count.
+    pub fn send_batch(
+        &self,
+        net: &Network,
+        probes: &[ActiveProbe],
+        parallelism: Parallelism,
+    ) -> Vec<bool> {
+        parallel_map(parallelism, probes, |p| self.send(net, p))
     }
 
     /// Slices a suspected probe in two (Algorithm 2's `slice_path`) and
@@ -264,8 +286,14 @@ mod tests {
         topo.add_link(SwitchId(0), SwitchId(1));
         topo.add_link(SwitchId(1), SwitchId(2));
         let mut net = Network::new(topo);
-        let p01 = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
-        let p12 = net.topology().port_towards(SwitchId(1), SwitchId(2)).unwrap();
+        let p01 = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
+        let p12 = net
+            .topology()
+            .port_towards(SwitchId(1), SwitchId(2))
+            .unwrap();
         net.install(
             SwitchId(0),
             TableId(0),
@@ -308,7 +336,10 @@ mod tests {
         let before = net.inject(SwitchId(0), h);
         assert_eq!(
             before.outcome,
-            Outcome::LeftNetwork { switch: SwitchId(2), port: PortId(40) }
+            Outcome::LeftNetwork {
+                switch: SwitchId(2),
+                port: PortId(40)
+            }
         );
         let plan = generate(&graph);
         let mut harness = ProbeHarness::new();
@@ -352,7 +383,10 @@ mod tests {
         let terminal_entry = graph.vertex(terminal).entry;
         net.inject_fault(terminal_entry, FaultSpec::new(FaultKind::Drop))
             .unwrap();
-        assert!(!harness.send(&net, &probes[0]), "terminal fault must fail the probe");
+        assert!(
+            !harness.send(&net, &probes[0]),
+            "terminal fault must fail the probe"
+        );
         net.clear_fault(terminal_entry);
         assert!(harness.send(&net, &probes[0]));
     }
@@ -364,11 +398,15 @@ mod tests {
         let mut harness = ProbeHarness::new();
         let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
         let mid_entry = graph.vertex(probes[0].path[1]).entry;
-        net.inject_fault(mid_entry, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(mid_entry, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         assert!(!harness.send(&net, &probes[0]));
         net.inject_fault(mid_entry, FaultSpec::new(FaultKind::Modify(t("xxxxxxx1"))))
             .unwrap();
-        assert!(!harness.send(&net, &probes[0]), "modified probe must not pass");
+        assert!(
+            !harness.send(&net, &probes[0]),
+            "modified probe must not pass"
+        );
     }
 
     #[test]
@@ -386,7 +424,8 @@ mod tests {
         assert!(harness.send(&net, &right), "healthy right half passes");
         // Fault in the right half fails only the right sub-probe.
         let right_entry = graph.vertex(right.path[0]).entry;
-        net.inject_fault(right_entry, FaultSpec::new(FaultKind::Drop)).unwrap();
+        net.inject_fault(right_entry, FaultSpec::new(FaultKind::Drop))
+            .unwrap();
         assert!(harness.send(&net, &left));
         assert!(!harness.send(&net, &right));
     }
@@ -397,7 +436,10 @@ mod tests {
         let plan = generate(&graph);
         let mut harness = ProbeHarness::new();
         let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
-        let (_, right) = harness.slice(&mut net, &graph, &probes[0]).unwrap().unwrap();
+        let (_, right) = harness
+            .slice(&mut net, &graph, &probes[0])
+            .unwrap()
+            .unwrap();
         let (_, rr) = harness.slice(&mut net, &graph, &right).unwrap().unwrap();
         assert_eq!(rr.path.len(), 1);
         assert!(harness.slice(&mut net, &graph, &rr).unwrap().is_none());

@@ -11,6 +11,13 @@
 //! generator toward headers real traffic actually uses — which is what
 //! lets Randomized SDNProbe find *targeting* faults quickly, since those
 //! target real flows by definition.
+//!
+//! Feed a profile to [`crate::generate_randomized_weighted`] (or its
+//! `_with` variant for an explicit thread budget), or attach one to a
+//! [`crate::Monitor`] via [`crate::Monitor::traffic_profile_mut`] and
+//! [`crate::Monitor::enable_traffic_weighting`]. Weighted selection is
+//! part of the sequential header-choice stage, so it never perturbs the
+//! pipeline's determinism guarantee (DESIGN.md § Concurrency model).
 
 use std::collections::HashMap;
 
@@ -51,6 +58,21 @@ impl TrafficProfile {
     }
 
     /// Records one observed header at a switch (an sFlow sample).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdnprobe::TrafficProfile;
+    /// use sdnprobe_headerspace::Header;
+    /// use sdnprobe_topology::SwitchId;
+    ///
+    /// let mut profile = TrafficProfile::new(2);
+    /// for value in [1u128, 2, 3] {
+    ///     profile.record(SwitchId(0), Header::new(value, 32));
+    /// }
+    /// // Oldest sample evicted: the capacity is a per-switch ring.
+    /// assert_eq!(profile.sample_count(SwitchId(0)), 2);
+    /// ```
     pub fn record(&mut self, switch: SwitchId, header: Header) {
         let bucket = self.samples.entry(switch).or_default();
         if bucket.len() == self.capacity_per_switch {
@@ -131,7 +153,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let port = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let port = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         net.install(
             SwitchId(0),
             TableId(0),
@@ -170,7 +195,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let port = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let port = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         // Switch 0 rewrites the header, so the two hops see different
         // headers.
         net.install(

@@ -1,0 +1,114 @@
+//! The pipeline's determinism guarantee: plans are bit-identical at any
+//! thread count.
+//!
+//! The parallel stages (legal path expansion, probe sends) are
+//! order-preserving and side-effect free; every RNG-consuming or
+//! state-dependent stage (matching, header selection, suspicion) runs
+//! sequentially on the calling thread. These tests pin that contract
+//! by comparing whole plans across thread budgets — see DESIGN.md
+//! § Concurrency model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdnprobe::{
+    generate_randomized_weighted_with, generate_randomized_with, generate_with, Parallelism,
+    TestPlan, TrafficProfile,
+};
+use sdnprobe_rulegraph::RuleGraph;
+use sdnprobe_topology::generate::rocketfuel_like;
+use sdnprobe_workloads::{synthesize, WorkloadSpec};
+
+/// A mid-size Rocketfuel-like workload: enough cover paths that the
+/// parallel expansion stage actually fans out.
+fn graph() -> RuleGraph {
+    let topo = rocketfuel_like(20, 36, 4242);
+    let sn = synthesize(
+        &topo,
+        &WorkloadSpec {
+            flows: 40,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.25,
+            min_path_len: 4,
+            seed: 4242,
+        },
+    );
+    RuleGraph::from_network(&sn.network).expect("loop-free workload")
+}
+
+/// Every field of every probe, via the derived Debug representation —
+/// any divergence (paths, headers, header spaces, shadowed set) shows.
+fn fingerprint(plan: &TestPlan) -> String {
+    format!("{plan:?}")
+}
+
+#[test]
+fn minimum_plan_identical_across_thread_counts() {
+    let graph = graph();
+    let baseline = fingerprint(&generate_with(&graph, Parallelism::sequential()));
+    for threads in [2, 4, 8] {
+        let plan = generate_with(&graph, Parallelism::with_threads(threads));
+        assert_eq!(
+            fingerprint(&plan),
+            baseline,
+            "generate_with diverged at {threads} threads"
+        );
+    }
+    // The auto setting (all cores) must also match.
+    let auto = generate_with(&graph, Parallelism::auto());
+    assert_eq!(fingerprint(&auto), baseline);
+}
+
+#[test]
+fn randomized_plan_identical_across_thread_counts_for_fixed_seed() {
+    let graph = graph();
+    for seed in [0u64, 7, 2018] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let baseline = fingerprint(&generate_randomized_with(
+            &graph,
+            &mut rng,
+            Parallelism::sequential(),
+        ));
+        for threads in [2, 8] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plan =
+                generate_randomized_with(&graph, &mut rng, Parallelism::with_threads(threads));
+            assert_eq!(
+                fingerprint(&plan),
+                baseline,
+                "seed {seed} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_plan_identical_across_thread_counts_for_fixed_seed() {
+    let graph = graph();
+    let profile = TrafficProfile::new(64);
+    let mut rng = StdRng::seed_from_u64(11);
+    let baseline = fingerprint(&generate_randomized_weighted_with(
+        &graph,
+        &mut rng,
+        &profile,
+        Parallelism::sequential(),
+    ));
+    let mut rng = StdRng::seed_from_u64(11);
+    let parallel =
+        generate_randomized_weighted_with(&graph, &mut rng, &profile, Parallelism::with_threads(8));
+    assert_eq!(fingerprint(&parallel), baseline);
+}
+
+#[test]
+fn rng_state_advances_identically() {
+    // After generating with different thread counts, the RNG must be in
+    // the same state: the next draw from each must agree. This is the
+    // strongest form of "the parallel stage consumes no randomness".
+    use rand::RngCore;
+    let graph = graph();
+    let mut rng_seq = StdRng::seed_from_u64(99);
+    let mut rng_par = StdRng::seed_from_u64(99);
+    let _ = generate_randomized_with(&graph, &mut rng_seq, Parallelism::sequential());
+    let _ = generate_randomized_with(&graph, &mut rng_par, Parallelism::with_threads(8));
+    assert_eq!(rng_seq.next_u64(), rng_par.next_u64());
+}

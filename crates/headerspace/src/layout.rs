@@ -70,7 +70,11 @@ impl HeaderLayoutBuilder {
         let mut fields = Vec::with_capacity(self.fields.len());
         let mut offset = 0u32;
         for (name, width) in self.fields {
-            if width == 0 || fields.iter().any(|(n, _): &(String, Range<u32>)| *n == name) {
+            if width == 0
+                || fields
+                    .iter()
+                    .any(|(n, _): &(String, Range<u32>)| *n == name)
+            {
                 return Err(HeaderSpaceError::DuplicateField { name });
             }
             fields.push((name, offset..offset + width));
@@ -240,9 +244,7 @@ mod tests {
         let matching = layout
             .compose(&[("dst", 0x12BE), ("src", 7), ("proto", 6)])
             .unwrap();
-        let wrong_proto = layout
-            .compose(&[("dst", 0x12BE), ("proto", 17)])
-            .unwrap();
+        let wrong_proto = layout.compose(&[("dst", 0x12BE), ("proto", 17)]).unwrap();
         assert!(m.matches(matching));
         assert!(!m.matches(wrong_proto));
     }

@@ -43,5 +43,6 @@ mod ternary;
 pub use error::HeaderSpaceError;
 pub use header::Header;
 pub use layout::{HeaderLayout, HeaderLayoutBuilder};
+pub use sdnprobe_parallel::Parallelism;
 pub use set::HeaderSet;
 pub use ternary::{Ternary, MAX_BITS};

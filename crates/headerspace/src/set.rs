@@ -69,7 +69,9 @@ impl HeaderSet {
     /// an explicitly empty set.
     pub fn from_union<I: IntoIterator<Item = Ternary>>(patterns: I) -> Self {
         let mut iter = patterns.into_iter();
-        let first = iter.next().expect("from_union requires at least one pattern");
+        let first = iter
+            .next()
+            .expect("from_union requires at least one pattern");
         let mut set = Self {
             terms: vec![first],
             len: first.len(),
@@ -498,10 +500,7 @@ mod tests {
         // Forward image of the preimage sits inside `out`; and every h
         // whose image is in `out` is in the preimage.
         for h in Ternary::wildcard(6).enumerate() {
-            let image = Header::new(
-                (h.bits() & !s_field.care_mask()) | s_field.value_bits(),
-                6,
-            );
+            let image = Header::new((h.bits() & !s_field.care_mask()) | s_field.value_bits(), 6);
             assert_eq!(pre.contains(h), out.contains(image), "at {h}");
         }
     }

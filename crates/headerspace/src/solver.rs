@@ -14,6 +14,8 @@
 //! the workspace's MiniSat substitute (see DESIGN.md §2) and is
 //! benchmarked against the paper's reported 0.5–2.4 ms per header.
 
+use sdnprobe_parallel::{parallel_map, Parallelism};
+
 use crate::header::Header;
 use crate::set::HeaderSet;
 use crate::ternary::Ternary;
@@ -116,6 +118,41 @@ impl WitnessQuery {
     pub fn is_empty(&self) -> bool {
         self.solve().is_none()
     }
+}
+
+/// Solves a batch of independent witness queries, fanning out across
+/// threads.
+///
+/// Planned probes need one witness each and the queries share no state,
+/// so batch solving is embarrassingly parallel; this is the entry point
+/// the probe pipeline uses when constructing headers for a whole test
+/// plan. Results are returned **in query order** and are bit-identical
+/// to calling [`WitnessQuery::solve`] sequentially, for any thread
+/// count (property-tested in `tests/batch_properties.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_headerspace::{solver::{solve_batch, WitnessQuery}, Parallelism, Ternary};
+///
+/// let queries: Vec<WitnessQuery> = ["00xxxxxx", "01xxxxxx", "1xxxxxxx"]
+///     .iter()
+///     .map(|m| WitnessQuery::new(m.parse().unwrap()))
+///     .collect();
+/// let witnesses = solve_batch(&queries, Parallelism::default());
+/// assert_eq!(witnesses.len(), 3);
+/// assert!(witnesses.iter().all(Option::is_some));
+/// ```
+pub fn solve_batch(queries: &[WitnessQuery], parallelism: Parallelism) -> Vec<Option<Header>> {
+    parallel_map(parallelism, queries, WitnessQuery::solve)
+}
+
+/// Like [`solve_batch`], also returning each query's search statistics.
+pub fn solve_batch_with_stats(
+    queries: &[WitnessQuery],
+    parallelism: Parallelism,
+) -> Vec<(Option<Header>, SolveStats)> {
+    parallel_map(parallelism, queries, WitnessQuery::solve_with_stats)
 }
 
 /// Finds a header contained in `positives` that avoids every negative.
@@ -306,9 +343,7 @@ mod tests {
     #[test]
     fn exhausting_all_headers_is_unsat() {
         let all: Vec<Header> = t("00xx").enumerate().collect();
-        assert!(WitnessQuery::new(t("00xx"))
-            .avoid_headers(all)
-            .is_empty());
+        assert!(WitnessQuery::new(t("00xx")).avoid_headers(all).is_empty());
     }
 
     #[test]
@@ -366,5 +401,37 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_negative_length_panics() {
         let _ = WitnessQuery::new(t("0xxx")).avoid(t("0xxxxxxx")).solve();
+    }
+
+    #[test]
+    fn batch_matches_sequential_solving() {
+        let patterns = ["0xxxxxxx", "x1xxxxxx", "00xxxxxx", "xx11xxxx", "1x0x1xxx"];
+        let mut queries = Vec::new();
+        for pos in &patterns {
+            for neg in &patterns {
+                queries.push(WitnessQuery::new(t(pos)).avoid(t(neg)));
+            }
+            // Unsatisfiable member: positive buried under its own negation.
+            queries.push(WitnessQuery::new(t(pos)).avoid(t(pos)));
+        }
+        let sequential: Vec<Option<Header>> = queries.iter().map(WitnessQuery::solve).collect();
+        for threads in [1, 2, 8] {
+            let batch = solve_batch(&queries, Parallelism::with_threads(threads));
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_with_stats_matches_solo_stats() {
+        let queries = vec![
+            WitnessQuery::new(Ternary::wildcard(8))
+                .avoid(t("0xxxxxxx"))
+                .avoid(t("x0xxxxxx")),
+            WitnessQuery::new(t("001xxxxx")).avoid(t("00100xxx")),
+        ];
+        let batch = solve_batch_with_stats(&queries, Parallelism::with_threads(4));
+        for (q, (h, stats)) in queries.iter().zip(&batch) {
+            assert_eq!((*h, *stats), q.solve_with_stats());
+        }
     }
 }

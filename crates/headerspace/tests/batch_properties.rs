@@ -1,0 +1,78 @@
+//! Property-based tests for parallel batch witness solving.
+//!
+//! `solve_batch` fans a slice of [`WitnessQuery`]s out across threads.
+//! Each query owns its inputs and the solver is pure, so the batch must
+//! be *observationally identical* to a sequential `map` over the same
+//! queries — same witnesses, same statistics, same order — at every
+//! thread count. These properties pin that contract over randomly
+//! generated query batches.
+
+use proptest::prelude::*;
+use sdnprobe_headerspace::solver::{solve_batch, solve_batch_with_stats, WitnessQuery};
+use sdnprobe_headerspace::{Parallelism, Ternary};
+
+const LEN: u32 = 8;
+
+fn arb_ternary() -> impl Strategy<Value = Ternary> {
+    (any::<u8>(), any::<u8>())
+        .prop_map(|(care, value)| Ternary::from_masks(care as u128, value as u128, LEN))
+}
+
+/// One witness query: a positive pattern and up to five avoided ones.
+fn arb_query() -> impl Strategy<Value = (Ternary, Vec<Ternary>)> {
+    (arb_ternary(), prop::collection::vec(arb_ternary(), 0..5))
+}
+
+fn build(queries: &[(Ternary, Vec<Ternary>)]) -> Vec<WitnessQuery> {
+    queries
+        .iter()
+        .map(|(pos, negs)| WitnessQuery::new(*pos).avoid_all(negs.iter().copied()))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn batch_equals_sequential_at_every_thread_count(
+        queries in prop::collection::vec(arb_query(), 0..24),
+        threads in 1usize..9,
+    ) {
+        let queries = build(&queries);
+        let sequential: Vec<_> = queries.iter().map(WitnessQuery::solve).collect();
+        let batch = solve_batch(&queries, Parallelism::with_threads(threads));
+        prop_assert_eq!(batch, sequential, "diverged at {} threads", threads);
+    }
+
+    #[test]
+    fn batch_witnesses_are_valid(
+        queries in prop::collection::vec(arb_query(), 1..16),
+    ) {
+        let built = build(&queries);
+        let results = solve_batch(&built, Parallelism::auto());
+        prop_assert_eq!(results.len(), built.len());
+        for ((pos, negs), witness) in queries.iter().zip(&results) {
+            // Ground truth by brute force over the 8-bit space.
+            let exists = pos.enumerate().any(|h| !negs.iter().any(|q| q.matches(h)));
+            match witness {
+                Some(h) => {
+                    prop_assert!(pos.matches(*h), "witness outside positive");
+                    prop_assert!(
+                        !negs.iter().any(|q| q.matches(*h)),
+                        "witness matches an avoided pattern"
+                    );
+                }
+                None => prop_assert!(!exists, "batch solver missed an existing witness"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stats_match_solo_solving(
+        queries in prop::collection::vec(arb_query(), 0..12),
+        threads in 1usize..5,
+    ) {
+        let queries = build(&queries);
+        let solo: Vec<_> = queries.iter().map(WitnessQuery::solve_with_stats).collect();
+        let batch = solve_batch_with_stats(&queries, Parallelism::with_threads(threads));
+        prop_assert_eq!(batch, solo);
+    }
+}

@@ -1,0 +1,227 @@
+//! Scoped-thread work distribution for the SDNProbe probe pipeline.
+//!
+//! Every hot stage of the pipeline — witness solving, legal-path
+//! expansion, per-probe injection — is a map over independent items, so
+//! this crate provides exactly one primitive: an order-preserving
+//! [`parallel_map`] built on [`std::thread::scope`] with a
+//! work-stealing chunker (an atomic claim counter; idle workers grab the
+//! next unclaimed block). No external dependencies, no unsafe code, no
+//! thread pool to manage: threads live only for the duration of one
+//! call, which keeps the determinism story trivial — output order is
+//! always input order, regardless of the thread count.
+//!
+//! [`Parallelism`] is the knob the rest of the workspace threads through
+//! configs and CLIs (`--threads N`): `None` means "all available
+//! cores", `Some(1)` means "run inline on the caller's thread".
+//!
+//! # Quick start
+//!
+//! ```
+//! use sdnprobe_parallel::{parallel_map, Parallelism};
+//!
+//! let squares = parallel_map(Parallelism::default(), &[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Forcing one thread produces the same output (order-preserving).
+//! let seq = parallel_map(Parallelism::sequential(), &[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(seq, squares);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-count configuration carried through the probe pipeline.
+///
+/// `threads: None` (the [`Default`]) uses every available core;
+/// `Some(n)` caps the worker count at `n`. A value of `Some(1)` (or
+/// [`Parallelism::sequential`]) disables threading entirely — work runs
+/// inline on the calling thread, which is also the fallback whenever a
+/// job is too small to be worth fanning out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum worker threads; `None` = all available cores.
+    pub threads: Option<usize>,
+}
+
+impl Parallelism {
+    /// All available cores (same as [`Default`]).
+    pub const fn auto() -> Self {
+        Self { threads: None }
+    }
+
+    /// Exactly one thread: everything runs inline on the caller.
+    pub const fn sequential() -> Self {
+        Self { threads: Some(1) }
+    }
+
+    /// At most `threads` worker threads (clamped to ≥ 1).
+    pub const fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(if threads == 0 { 1 } else { threads }),
+        }
+    }
+
+    /// True when work is guaranteed to run on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == Some(1)
+    }
+
+    /// The worker count a job of `items` independent items would use:
+    /// the configured cap (or the core count), never more than `items`,
+    /// never less than 1.
+    pub fn effective_threads(&self, items: usize) -> usize {
+        self.threads
+            .unwrap_or_else(available_threads)
+            .clamp(1, items.max(1))
+    }
+}
+
+/// Number of hardware threads available to the process (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Jobs smaller than this run inline: thread spawn/teardown costs more
+/// than the work itself.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Applies `f` to every item, fanning out across scoped threads, and
+/// returns the results **in input order**.
+///
+/// Scheduling is a work-stealing chunker: a shared atomic counter hands
+/// out blocks of indices, so a worker that finishes early steals the
+/// next block instead of idling — important because witness queries and
+/// path expansions have wildly varying costs. Blocks shrink with the
+/// thread count (`items / (threads × 8)`, minimum 1) to bound the
+/// imbalance any single block can cause.
+///
+/// The output is identical to `items.iter().map(f).collect()` for any
+/// thread count — callers rely on this for the pipeline's determinism
+/// guarantee (tested in this crate and in `sdnprobe`'s determinism
+/// suite).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first panicking worker's payload is
+/// resumed on the caller).
+pub fn parallel_map<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = parallelism.effective_threads(items.len());
+    if workers <= 1 || items.len() < workers * MIN_ITEMS_PER_THREAD {
+        return items.iter().map(f).collect();
+    }
+    let block = (items.len() / (workers * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Claim blocks until the counter runs off the end;
+                    // keep (start, results) pairs for in-order reassembly.
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + block).min(items.len());
+                        mine.push((start, items[start..end].iter().map(&f).collect()));
+                    }
+                    gathered.lock().expect("no poisoned worker").extend(mine);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    let mut blocks = gathered.into_inner().expect("workers joined");
+    blocks.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, chunk) in blocks {
+        out.extend(chunk);
+    }
+    debug_assert_eq!(out.len(), items.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_on_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 64] {
+            let got = parallel_map(Parallelism::with_threads(threads), &items, |x| x * 3 + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        let auto = parallel_map(Parallelism::auto(), &items, |x| x * 3 + 1);
+        assert_eq!(auto, expect);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(Parallelism::auto(), &empty, |x| *x).is_empty());
+        assert_eq!(
+            parallel_map(Parallelism::auto(), &[7u32], |x| *x + 1),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn uneven_work_is_rebalanced() {
+        // Costs differ by 1000×; the result must still be ordered.
+        let items: Vec<usize> = (0..256).collect();
+        let got = parallel_map(Parallelism::with_threads(4), &items, |&i| {
+            let spin = if i % 17 == 0 { 10_000 } else { 10 };
+            (0..spin).fold(i as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+        });
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|&i| {
+                let spin = if i % 17 == 0 { 10_000 } else { 10 };
+                (0..spin).fold(i as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(Parallelism::sequential().effective_threads(100), 1);
+        assert_eq!(Parallelism::with_threads(8).effective_threads(3), 3);
+        assert_eq!(Parallelism::with_threads(8).effective_threads(0), 1);
+        assert_eq!(Parallelism::with_threads(0).threads, Some(1));
+        assert!(Parallelism::auto().effective_threads(1_000_000) >= 1);
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(!Parallelism::auto().is_sequential() || available_threads() == 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(Parallelism::with_threads(4), &items, |&i| {
+                assert!(i != 33, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}
