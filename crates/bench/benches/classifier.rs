@@ -1,0 +1,154 @@
+//! Criterion benchmarks for the ternary classifier index: trie-backed
+//! flow-table lookup vs the linear reference scan, and trie-accelerated
+//! rule-graph edge construction vs pairwise intersection.
+//!
+//! The `flow_lookup` group runs on synthetic single-switch tables of up
+//! to 10k+ prefix rules over 32-bit headers — the regime where the
+//! O(header bits) trie walk separates from the O(rules) scan.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdnprobe_dataplane::{Action, FlowEntry, Network, TableId};
+use sdnprobe_headerspace::{Header, Ternary};
+use sdnprobe_rulegraph::RuleGraph;
+use sdnprobe_topology::{PortId, SwitchId, Topology};
+use sdnprobe_workloads::{synthesize, SyntheticNetwork, WorkloadSpec, HEADER_BITS};
+
+/// A single-switch network whose table 0 holds `rules` random prefix
+/// entries over 32-bit headers, with priorities tied to prefix length
+/// (longest prefix wins, like an IP FIB).
+fn synthetic_table(rules: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(Topology::new(1));
+    for _ in 0..rules {
+        let plen = rng.gen_range(0..=HEADER_BITS);
+        let addr = rng.gen::<u32>() as u128;
+        let e = FlowEntry::new(
+            Ternary::prefix(addr, plen, HEADER_BITS),
+            Action::Output(PortId(40)),
+        )
+        .with_priority(plen as u16);
+        net.install(SwitchId(0), TableId(0), e).expect("install");
+    }
+    net
+}
+
+/// Headers to probe with: half sampled from installed prefixes (hits),
+/// half uniform (mostly misses on sparse tables).
+fn probe_headers(net: &Network, count: usize, seed: u64) -> Vec<Header> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = net.flow_table(SwitchId(0), TableId(0)).expect("table 0");
+    let entries: Vec<Ternary> = table.iter().map(|(_, e)| e.match_field()).collect();
+    (0..count)
+        .map(|i| {
+            let bits = if i % 2 == 0 && !entries.is_empty() {
+                let m = entries[rng.gen_range(0..entries.len())];
+                // A concrete header inside the prefix.
+                (m.value_bits() | (rng.gen::<u32>() as u128 & !m.care_mask()))
+                    & ((1u128 << HEADER_BITS) - 1)
+            } else {
+                rng.gen::<u32>() as u128
+            };
+            Header::new(bits, HEADER_BITS)
+        })
+        .collect()
+}
+
+fn flow_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier/flow_lookup");
+    for rules in [1_000usize, 10_000] {
+        let net = synthetic_table(rules, 42);
+        let headers = probe_headers(&net, 256, 43);
+        let table = net.flow_table(SwitchId(0), TableId(0)).expect("table 0");
+        group.bench_with_input(BenchmarkId::new("trie", rules), &rules, |bench, _| {
+            bench.iter(|| {
+                for h in &headers {
+                    black_box(table.lookup(black_box(*h)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", rules), &rules, |bench, _| {
+            bench.iter(|| {
+                for h in &headers {
+                    black_box(table.lookup_linear(black_box(*h)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Rocketfuel-like multi-switch workload for edge construction.
+fn workload(flows: usize) -> SyntheticNetwork {
+    let topo = sdnprobe_topology::generate::rocketfuel_like(30, 54, 777);
+    synthesize(
+        &topo,
+        &WorkloadSpec {
+            flows,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.3,
+            min_path_len: 5,
+            seed: 777,
+        },
+    )
+}
+
+fn edge_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier/rebuild_all_edges");
+    for flows in [40usize, 160] {
+        let sn = workload(flows);
+        let graph = RuleGraph::from_network(&sn.network).expect("valid policy");
+        group.bench_with_input(
+            BenchmarkId::new("trie", graph.vertex_count()),
+            &graph,
+            |bench, g| {
+                bench.iter_batched(
+                    || g.clone(),
+                    |mut g| {
+                        g.rebuild_all_edges();
+                        black_box(g)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear", graph.vertex_count()),
+            &graph,
+            |bench, g| {
+                bench.iter_batched(
+                    || g.clone(),
+                    |mut g| {
+                        g.rebuild_all_edges_linear();
+                        black_box(g)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn trie_maintenance(c: &mut Criterion) {
+    let net = synthetic_table(10_000, 7);
+    let table = net.flow_table(SwitchId(0), TableId(0)).expect("table 0");
+    let entries: Vec<(u16, Ternary)> = table
+        .iter()
+        .map(|(_, e)| (e.priority(), e.match_field()))
+        .collect();
+    c.bench_function("classifier/trie_build_10k", |bench| {
+        bench.iter(|| {
+            let mut trie = sdnprobe_classifier::TernaryTrie::new();
+            for (i, (prio, m)) in entries.iter().enumerate() {
+                trie.insert(i as u64, m.care_mask(), m.value_bits(), *prio, m.len());
+            }
+            black_box(trie)
+        })
+    });
+}
+
+criterion_group!(benches, flow_lookup, edge_construction, trie_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,543 @@
+//! The priority-aware ternary trie.
+//!
+//! Layout: a node per bit position with three children — `0`, `1`, and
+//! wildcard — selected by the *stored pattern's* bit at that position.
+//! A pattern of length `L` ends in a leaf at depth `L` holding
+//! `(id, priority)` items. Lookups descend the child matching the
+//! header bit plus the wildcard child; overlap queries descend every
+//! child compatible with the query bit. Each node caches the item count
+//! and maximum priority of its subtree so lookups can prune branches
+//! that cannot beat the best match found so far.
+
+use std::collections::HashMap;
+
+/// Sentinel for "no child".
+const NIL: u32 = u32::MAX;
+
+/// Child slots: pattern bit `0`, pattern bit `1`, wildcard.
+const ZERO: usize = 0;
+const ONE: usize = 1;
+const WILD: usize = 2;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: [u32; 3],
+    /// `(id, priority)` items; non-empty only at terminal depth.
+    items: Vec<(u64, u16)>,
+    /// Number of items in this subtree (this node included).
+    count: u32,
+    /// Maximum priority of any item in this subtree; meaningful only
+    /// when `count > 0`.
+    max_priority: u16,
+}
+
+impl Node {
+    fn new() -> Self {
+        Self {
+            children: [NIL; 3],
+            items: Vec::new(),
+            count: 0,
+            max_priority: 0,
+        }
+    }
+}
+
+/// A stored pattern, remembered so removal can retrace its path.
+#[derive(Debug, Clone, Copy)]
+struct Stored {
+    care: u128,
+    value: u128,
+    priority: u16,
+}
+
+/// A priority-aware ternary trie keyed by opaque `u64` ids.
+///
+/// All stored patterns must share one bit length, fixed by the first
+/// insertion. See the crate docs for the `(care, value)` convention.
+#[derive(Debug, Clone, Default)]
+pub struct TernaryTrie {
+    /// Node arena; index 0 is the root (present once `bits > 0`).
+    nodes: Vec<Node>,
+    /// Pattern length in bits; 0 until the first insertion.
+    bits: u32,
+    /// Id to stored pattern, for removal and replacement.
+    patterns: HashMap<u64, Stored>,
+}
+
+impl TernaryTrie {
+    /// Creates an empty trie; the bit length is fixed by the first
+    /// [`insert`](Self::insert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if no pattern is stored.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Pattern length in bits (0 before the first insertion).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// True if `id` currently has a stored pattern.
+    pub fn contains(&self, id: u64) -> bool {
+        self.patterns.contains_key(&id)
+    }
+
+    /// The `(care, value, priority)` stored under `id`, if present.
+    pub fn get(&self, id: u64) -> Option<(u128, u128, u16)> {
+        self.patterns
+            .get(&id)
+            .map(|s| (s.care, s.value, s.priority))
+    }
+
+    /// Inserts (or replaces) the pattern stored under `id`.
+    ///
+    /// `care`/`value` follow the crate-level mask convention; bits of
+    /// `value` outside `care` and bits of either mask at or beyond
+    /// `bits` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero, exceeds 128, or differs from the bit
+    /// length fixed by an earlier insertion.
+    pub fn insert(&mut self, id: u64, care: u128, value: u128, priority: u16, bits: u32) {
+        assert!(
+            bits >= 1 && bits <= 128,
+            "bits must be in 1..=128, got {bits}"
+        );
+        if self.bits == 0 {
+            self.bits = bits;
+            self.nodes.push(Node::new());
+        }
+        assert_eq!(self.bits, bits, "pattern length mismatch");
+        if self.patterns.contains_key(&id) {
+            self.remove(id);
+        }
+        let width = width_mask(bits);
+        let care = care & width;
+        let value = value & care;
+        self.patterns.insert(
+            id,
+            Stored {
+                care,
+                value,
+                priority,
+            },
+        );
+        // Walk (creating nodes) along the pattern's bits, keeping the
+        // subtree count and max-priority caches current.
+        let mut node = 0usize;
+        for k in 0..bits {
+            self.bump(node, priority);
+            let slot = slot_of(care, value, k);
+            let child = self.nodes[node].children[slot];
+            node = if child == NIL {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[slot] = idx;
+                idx as usize
+            } else {
+                child as usize
+            };
+        }
+        self.bump(node, priority);
+        self.nodes[node].items.push((id, priority));
+    }
+
+    fn bump(&mut self, node: usize, priority: u16) {
+        let n = &mut self.nodes[node];
+        if n.count == 0 || priority > n.max_priority {
+            n.max_priority = priority;
+        }
+        n.count += 1;
+    }
+
+    /// Removes the pattern stored under `id`; returns true if present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(stored) = self.patterns.remove(&id) else {
+            return false;
+        };
+        // Retrace the pattern's path, then fix counts and priority
+        // caches bottom-up.
+        let mut path = Vec::with_capacity(self.bits as usize + 1);
+        let mut node = 0usize;
+        path.push(node);
+        for k in 0..self.bits {
+            let slot = slot_of(stored.care, stored.value, k);
+            node = self.nodes[node].children[slot] as usize;
+            path.push(node);
+        }
+        let leaf = *path.last().expect("path is non-empty");
+        let pos = self.nodes[leaf]
+            .items
+            .iter()
+            .position(|&(i, _)| i == id)
+            .expect("stored pattern has a leaf item");
+        self.nodes[leaf].items.swap_remove(pos);
+        for &n in path.iter().rev() {
+            self.nodes[n].count -= 1;
+            self.refresh_max(n);
+        }
+        true
+    }
+
+    /// Recomputes a node's cached max priority from its items and
+    /// children.
+    fn refresh_max(&mut self, node: usize) {
+        let mut best: Option<u16> = self.nodes[node].items.iter().map(|&(_, p)| p).max();
+        for slot in [ZERO, ONE, WILD] {
+            let child = self.nodes[node].children[slot];
+            if child != NIL {
+                let c = &self.nodes[child as usize];
+                if c.count > 0 && best.is_none_or(|b| c.max_priority > b) {
+                    best = Some(c.max_priority);
+                }
+            }
+        }
+        self.nodes[node].max_priority = best.unwrap_or(0);
+    }
+
+    /// The highest-priority pattern matching the concrete header, ties
+    /// broken by lowest id (the data plane's match precedence).
+    ///
+    /// Bits of `header` at or beyond the trie's bit length are ignored.
+    pub fn lookup(&self, header: u128) -> Option<u64> {
+        if self.bits == 0 || self.nodes[0].count == 0 {
+            return None;
+        }
+        let mut best: Option<(u16, u64)> = None;
+        self.lookup_rec(0, 0, header, &mut best);
+        best.map(|(_, id)| id)
+    }
+
+    fn lookup_rec(&self, node: usize, depth: u32, header: u128, best: &mut Option<(u16, u64)>) {
+        let n = &self.nodes[node];
+        if n.count == 0 {
+            return;
+        }
+        // Prune: nothing below can beat a strictly better priority. On
+        // equal priority we must still descend to find a lower id.
+        if let Some((p, _)) = *best {
+            if n.max_priority < p {
+                return;
+            }
+        }
+        if depth == self.bits {
+            for &(id, priority) in &n.items {
+                if best.is_none_or(|(bp, bid)| priority > bp || (priority == bp && id < bid)) {
+                    *best = Some((priority, id));
+                }
+            }
+            return;
+        }
+        let bit = (header >> depth & 1) as usize;
+        if n.children[bit] != NIL {
+            self.lookup_rec(n.children[bit] as usize, depth + 1, header, best);
+        }
+        if n.children[WILD] != NIL {
+            self.lookup_rec(n.children[WILD] as usize, depth + 1, header, best);
+        }
+    }
+
+    /// Ids of every stored pattern whose header set intersects the
+    /// query pattern, in ascending id order.
+    ///
+    /// Two ternaries intersect unless some bit is fixed to different
+    /// values in both, so the walk descends the wildcard child always
+    /// and the fixed children compatible with the query bit.
+    pub fn overlaps(&self, care: u128, value: u128) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self.bits == 0 || self.nodes[0].count == 0 {
+            return out;
+        }
+        let width = width_mask(self.bits);
+        self.overlaps_rec(0, 0, care & width, value & care & width, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn overlaps_rec(&self, node: usize, depth: u32, care: u128, value: u128, out: &mut Vec<u64>) {
+        let n = &self.nodes[node];
+        if n.count == 0 {
+            return;
+        }
+        if depth == self.bits {
+            out.extend(n.items.iter().map(|&(id, _)| id));
+            return;
+        }
+        let slots: &[usize] = if care >> depth & 1 == 1 {
+            if value >> depth & 1 == 1 {
+                &[ONE, WILD]
+            } else {
+                &[ZERO, WILD]
+            }
+        } else {
+            &[ZERO, ONE, WILD]
+        };
+        for &slot in slots {
+            if n.children[slot] != NIL {
+                self.overlaps_rec(n.children[slot] as usize, depth + 1, care, value, out);
+            }
+        }
+    }
+}
+
+/// Child slot selected by a pattern's bit at position `k`.
+fn slot_of(care: u128, value: u128, k: u32) -> usize {
+    if care >> k & 1 == 0 {
+        WILD
+    } else if value >> k & 1 == 1 {
+        ONE
+    } else {
+        ZERO
+    }
+}
+
+fn width_mask(bits: u32) -> u128 {
+    if bits as usize == 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `(care, value)` from the paper's string form, bit 0 first.
+    fn masks(s: &str) -> (u128, u128, u32) {
+        let mut care = 0u128;
+        let mut value = 0u128;
+        for (k, c) in s.chars().enumerate() {
+            match c {
+                '0' => care |= 1 << k,
+                '1' => {
+                    care |= 1 << k;
+                    value |= 1 << k;
+                }
+                'x' => {}
+                other => panic!("bad pattern char {other}"),
+            }
+        }
+        (care, value, s.len() as u32)
+    }
+
+    fn insert(trie: &mut TernaryTrie, id: u64, pattern: &str, priority: u16) {
+        let (care, value, bits) = masks(pattern);
+        trie.insert(id, care, value, priority, bits);
+    }
+
+    /// Reference linear scan with the same tie-break.
+    struct Linear {
+        rules: Vec<(u64, u128, u128, u16)>,
+    }
+
+    impl Linear {
+        fn lookup(&self, header: u128) -> Option<u64> {
+            self.rules
+                .iter()
+                .filter(|&&(_, care, value, _)| (header ^ value) & care == 0)
+                .fold(
+                    None,
+                    |best: Option<(u16, u64)>, &(id, _, _, p)| match best {
+                        Some((bp, bid)) if bp > p || (bp == p && bid < id) => best,
+                        _ => Some((p, id)),
+                    },
+                )
+                .map(|(_, id)| id)
+        }
+
+        fn overlaps(&self, care: u128, value: u128) -> Vec<u64> {
+            let mut out: Vec<u64> = self
+                .rules
+                .iter()
+                .filter(|&&(_, c, v, _)| (value ^ v) & care & c == 0)
+                .map(|&(id, _, _, _)| id)
+                .collect();
+            out.sort_unstable();
+            out
+        }
+    }
+
+    /// splitmix64, so the tests need no external RNG crate.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let trie = TernaryTrie::new();
+        assert!(trie.is_empty());
+        assert_eq!(trie.lookup(0), None);
+        assert!(trie.overlaps(0, 0).is_empty());
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 0, "001xxxxx", 1);
+        insert(&mut trie, 1, "00100xxx", 5);
+        // 00100000 matches both; priority 5 wins.
+        assert_eq!(trie.lookup(0b0000_0100), Some(1));
+        // 00101000 matches only the low-priority rule.
+        assert_eq!(trie.lookup(0b0001_0100), Some(0));
+    }
+
+    #[test]
+    fn duplicate_priorities_tie_break_by_lowest_id() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 7, "0xxxxxxx", 2);
+        insert(&mut trie, 3, "0xxxxxxx", 2);
+        insert(&mut trie, 5, "xxxxxxx0", 2);
+        assert_eq!(trie.lookup(0), Some(3));
+        trie.remove(3);
+        assert_eq!(trie.lookup(0), Some(5));
+    }
+
+    #[test]
+    fn all_wildcard_rule_matches_everything() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 4, "xxxxxxxx", 0);
+        for h in [0u128, 1, 0x80, 0xFF] {
+            assert_eq!(trie.lookup(h), Some(4));
+        }
+        assert_eq!(trie.overlaps(0, 0), vec![4]);
+        // A concrete query still intersects the full wildcard.
+        let (c, v, _) = masks("10101010");
+        assert_eq!(trie.overlaps(c, v), vec![4]);
+    }
+
+    #[test]
+    fn shadowing_rule_takes_over_and_removal_restores() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 0, "00xxxxxx", 1);
+        assert_eq!(trie.lookup(0), Some(0));
+        // A higher-priority rule shadows the whole region.
+        insert(&mut trie, 1, "0xxxxxxx", 9);
+        assert_eq!(trie.lookup(0), Some(1));
+        // Removing the currently-matching rule falls back to the old one.
+        assert!(trie.remove(1));
+        assert_eq!(trie.lookup(0), Some(0));
+        assert!(!trie.remove(1));
+    }
+
+    #[test]
+    fn removal_of_only_rule_empties_region() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 0, "1xxxxxxx", 0);
+        assert_eq!(trie.lookup(1), Some(0));
+        assert!(trie.remove(0));
+        assert_eq!(trie.lookup(1), None);
+        assert!(trie.is_empty());
+        assert!(trie.overlaps(0, 0).is_empty());
+    }
+
+    #[test]
+    fn reinsert_under_same_id_replaces() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 0, "0xxxxxxx", 1);
+        insert(&mut trie, 0, "1xxxxxxx", 3);
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.lookup(0), None);
+        assert_eq!(trie.lookup(1), Some(0));
+        assert!(trie.contains(0));
+        assert_eq!(trie.get(0), Some((1, 1, 3)));
+        assert_eq!(trie.get(9), None);
+    }
+
+    #[test]
+    fn overlaps_basics() {
+        let mut trie = TernaryTrie::new();
+        insert(&mut trie, 0, "0010xxxx", 2); // e1
+        insert(&mut trie, 1, "001xxxxx", 1); // e2
+        insert(&mut trie, 2, "0111xxxx", 0); // e3
+        let (c, v, _) = masks("0011xxxx"); // b2's output
+        assert_eq!(trie.overlaps(c, v), vec![1]);
+        let (c, v, _) = masks("00100xxx"); // c1's output
+        assert_eq!(trie.overlaps(c, v), vec![0, 1]);
+        let (c, v, _) = masks("0111xxxx"); // d1's output
+        assert_eq!(trie.overlaps(c, v), vec![2]);
+    }
+
+    #[test]
+    fn value_bits_outside_care_are_canonicalized() {
+        let mut trie = TernaryTrie::new();
+        // value has bits set where care is clear; they must be ignored.
+        trie.insert(0, 0b0011, 0b1101, 0, 4);
+        assert_eq!(trie.lookup(0b0001), Some(0));
+        assert_eq!(trie.lookup(0b1101), Some(0));
+        assert_eq!(trie.overlaps(0b0011, 0b0001), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mixed_lengths_panic() {
+        let mut trie = TernaryTrie::new();
+        trie.insert(0, 0, 0, 0, 8);
+        trie.insert(1, 0, 0, 0, 16);
+    }
+
+    #[test]
+    fn full_width_128_bit_patterns() {
+        let mut trie = TernaryTrie::new();
+        trie.insert(0, u128::MAX, u128::MAX, 1, 128);
+        trie.insert(1, 0, 0, 0, 128);
+        assert_eq!(trie.lookup(u128::MAX), Some(0));
+        assert_eq!(trie.lookup(0), Some(1));
+        assert_eq!(trie.overlaps(0, 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn differential_random_insert_remove_lookup() {
+        let mut rng = Rng(42);
+        for _ in 0..30 {
+            let bits = 8 + rng.below(9) as u32; // 8..=16
+            let mut trie = TernaryTrie::new();
+            let mut linear = Linear { rules: Vec::new() };
+            let mut next_id = 0u64;
+            for _ in 0..120 {
+                if !linear.rules.is_empty() && rng.below(10) < 3 {
+                    let idx = rng.below(linear.rules.len() as u64) as usize;
+                    let (id, _, _, _) = linear.rules.swap_remove(idx);
+                    assert!(trie.remove(id));
+                } else {
+                    let care = rng.next() as u128 & width_mask(bits);
+                    let value = rng.next() as u128 & care;
+                    let priority = rng.below(6) as u16;
+                    let id = next_id;
+                    next_id += 1;
+                    trie.insert(id, care, value, priority, bits);
+                    linear.rules.push((id, care, value, priority));
+                }
+                for _ in 0..20 {
+                    let h = rng.next() as u128 & width_mask(bits);
+                    assert_eq!(trie.lookup(h), linear.lookup(h), "header {h:#x}");
+                }
+                let qc = rng.next() as u128 & width_mask(bits);
+                let qv = rng.next() as u128 & qc;
+                assert_eq!(trie.overlaps(qc, qv), linear.overlaps(qc, qv));
+            }
+        }
+    }
+}

@@ -1,20 +1,67 @@
 //! Flow tables and priority-based lookup.
 
-use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use sdnprobe_classifier::TernaryTrie;
 use sdnprobe_headerspace::Header;
+use serde::{Deserialize, Serialize};
 
 use crate::flow::{EntryId, FlowEntry};
 
 /// A single OpenFlow-style flow table: a priority-ordered list of
-/// entries.
+/// entries plus two derived indexes kept coherent on every mutation —
+/// an `EntryId -> position` map for O(1) id-keyed access, and a
+/// [`TernaryTrie`] over the match fields so [`lookup`](Self::lookup)
+/// walks O(header bits) trie branches instead of scanning every entry.
 ///
-/// Lookup returns the highest-priority matching entry; ties are broken by
-/// installation order (earlier wins), matching common switch behaviour.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Lookup returns the highest-priority matching entry; ties are broken
+/// by installation order (earlier wins), matching common switch
+/// behaviour. All entries of one table must share a header length (the
+/// trie enforces this at insertion).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "FlowTableRepr", into = "FlowTableRepr")]
 pub struct FlowTable {
     /// Sorted by (priority desc, id asc).
     entries: Vec<(EntryId, FlowEntry)>,
+    /// Position of each entry in `entries`.
+    index: HashMap<EntryId, usize>,
+    /// Match-field trie; ids are the raw `EntryId` values.
+    trie: TernaryTrie,
 }
+
+/// Serialized form: just the entry list. The index map and trie are
+/// derived state, rebuilt on deserialization.
+#[derive(Serialize, Deserialize)]
+struct FlowTableRepr {
+    entries: Vec<(EntryId, FlowEntry)>,
+}
+
+impl From<FlowTableRepr> for FlowTable {
+    fn from(repr: FlowTableRepr) -> Self {
+        let mut table = FlowTable::new();
+        for (id, entry) in repr.entries {
+            table.insert(id, entry);
+        }
+        table
+    }
+}
+
+impl From<FlowTable> for FlowTableRepr {
+    fn from(table: FlowTable) -> Self {
+        Self {
+            entries: table.entries,
+        }
+    }
+}
+
+impl PartialEq for FlowTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The index and trie are functions of `entries`.
+        self.entries == other.entries
+    }
+}
+
+impl Eq for FlowTable {}
 
 impl FlowTable {
     /// Creates an empty table.
@@ -39,25 +86,39 @@ impl FlowTable {
 
     /// Inserts an entry under the given id, keeping precedence order.
     pub(crate) fn insert(&mut self, id: EntryId, entry: FlowEntry) {
-        let pos = self
-            .entries
-            .partition_point(|(eid, e)| (e.priority() > entry.priority())
-                || (e.priority() == entry.priority() && *eid < id));
+        let pos = self.entries.partition_point(|(eid, e)| {
+            (e.priority() > entry.priority()) || (e.priority() == entry.priority() && *eid < id)
+        });
+        // Entries at or after the insertion point shift right.
+        for (eid, _) in &self.entries[pos..] {
+            *self.index.get_mut(eid).expect("indexed entry") += 1;
+        }
+        let m = entry.match_field();
+        self.trie.insert(
+            id.0,
+            m.care_mask(),
+            m.value_bits(),
+            entry.priority(),
+            m.len(),
+        );
         self.entries.insert(pos, (id, entry));
+        self.index.insert(id, pos);
     }
 
     /// Removes an entry by id; returns it if present.
     pub(crate) fn remove(&mut self, id: EntryId) -> Option<FlowEntry> {
-        let pos = self.entries.iter().position(|(eid, _)| *eid == id)?;
-        Some(self.entries.remove(pos).1)
+        let pos = self.index.remove(&id)?;
+        let (_, entry) = self.entries.remove(pos);
+        for (eid, _) in &self.entries[pos..] {
+            *self.index.get_mut(eid).expect("indexed entry") -= 1;
+        }
+        self.trie.remove(id.0);
+        Some(entry)
     }
 
     /// Looks up an entry by id.
     pub fn get(&self, id: EntryId) -> Option<&FlowEntry> {
-        self.entries
-            .iter()
-            .find(|(eid, _)| *eid == id)
-            .map(|(_, e)| e)
+        self.index.get(&id).map(|&pos| &self.entries[pos].1)
     }
 
     /// Replaces an entry in place (same id, same precedence slot rules).
@@ -67,8 +128,24 @@ impl FlowTable {
         Some(old)
     }
 
-    /// The highest-priority entry matching `header`, if any.
+    /// The highest-priority entry matching `header`, if any; ties break
+    /// toward the lowest id.
+    ///
+    /// Resolved by the match-field trie in O(header bits) branch walks;
+    /// the winning id maps back to its entry through the position index.
+    /// Results are identical to [`lookup_linear`](Self::lookup_linear).
     pub fn lookup(&self, header: Header) -> Option<(EntryId, &FlowEntry)> {
+        let id = EntryId(self.trie.lookup(header.bits())?);
+        let pos = self.index[&id];
+        Some((id, &self.entries[pos].1))
+    }
+
+    /// Reference implementation of [`lookup`](Self::lookup): a linear
+    /// scan of the precedence-ordered entry list.
+    ///
+    /// Kept public so differential tests and benchmarks can pin the trie
+    /// against it; not intended for production callers.
+    pub fn lookup_linear(&self, header: Header) -> Option<(EntryId, &FlowEntry)> {
         self.entries
             .iter()
             .find(|(_, e)| e.match_field().matches(header))
@@ -153,5 +230,80 @@ mod tests {
         tab.insert(EntryId(2), entry("xxxxxxxx", 3, 2));
         let prios: Vec<u16> = tab.iter().map(|(_, e)| e.priority()).collect();
         assert_eq!(prios, vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn index_map_stays_coherent_under_mutation() {
+        let mut tab = FlowTable::new();
+        // Interleave priorities so inserts land mid-list.
+        for (i, prio) in [(0u64, 4u16), (1, 1), (2, 3), (3, 2), (4, 5)] {
+            tab.insert(EntryId(i), entry("0xxxxxxx", prio, i as u32));
+        }
+        for (id, _) in tab.entries.clone() {
+            assert_eq!(tab.get(id).map(|e| e.priority()), {
+                let pos = tab.index[&id];
+                Some(tab.entries[pos].1.priority())
+            });
+        }
+        tab.remove(EntryId(2)).expect("present");
+        tab.replace(EntryId(1), entry("0xxxxxxx", 9, 1))
+            .expect("present");
+        // Every surviving id still maps to its own slot.
+        for (pos, (id, _)) in tab.entries.iter().enumerate() {
+            assert_eq!(tab.index[id], pos);
+        }
+        assert_eq!(tab.len(), 4);
+        assert_eq!(
+            tab.lookup(Header::new(0, 8)).map(|(id, _)| id),
+            Some(EntryId(1))
+        );
+    }
+
+    #[test]
+    fn trie_and_linear_lookup_agree_after_mutations() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(0), entry("00xxxxxx", 1, 0));
+        tab.insert(EntryId(1), entry("0xxxxxxx", 2, 1));
+        tab.insert(EntryId(2), entry("xxxxxxxx", 0, 2));
+        tab.remove(EntryId(1));
+        tab.replace(EntryId(0), entry("01xxxxxx", 3, 0));
+        for bits in 0..=255u128 {
+            let h = Header::new(bits, 8);
+            assert_eq!(
+                tab.lookup(h).map(|(id, _)| id),
+                tab.lookup_linear(h).map(|(id, _)| id),
+                "divergence at {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equality_ignores_derived_state() {
+        let mut a = FlowTable::new();
+        a.insert(EntryId(0), entry("0xxxxxxx", 1, 0));
+        a.insert(EntryId(1), entry("1xxxxxxx", 2, 1));
+        // Same contents by a different mutation history.
+        let mut b = FlowTable::new();
+        b.insert(EntryId(1), entry("1xxxxxxx", 2, 1));
+        b.insert(EntryId(2), entry("xxxxxxxx", 0, 2));
+        b.insert(EntryId(0), entry("0xxxxxxx", 1, 0));
+        b.remove(EntryId(2));
+        assert_eq!(a, b);
+        b.remove(EntryId(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn repr_round_trip_rebuilds_indexes() {
+        let mut tab = FlowTable::new();
+        tab.insert(EntryId(4), entry("00xxxxxx", 2, 0));
+        tab.insert(EntryId(2), entry("0xxxxxxx", 1, 1));
+        let repr = FlowTableRepr::from(tab.clone());
+        let rebuilt = FlowTable::from(repr);
+        assert_eq!(rebuilt, tab);
+        assert_eq!(
+            rebuilt.lookup(Header::new(0, 8)).map(|(id, _)| id),
+            Some(EntryId(4))
+        );
     }
 }

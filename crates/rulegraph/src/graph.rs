@@ -14,8 +14,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use sdnprobe_classifier::TernaryTrie;
 use sdnprobe_dataplane::{Action, EntryId, Network, TableId};
-use sdnprobe_headerspace::HeaderSet;
+use sdnprobe_headerspace::{HeaderSet, Ternary};
 use sdnprobe_topology::SwitchId;
 
 use crate::error::RuleGraphError;
@@ -72,6 +73,20 @@ pub struct RuleGraph {
     pub(crate) by_entry: HashMap<EntryId, VertexId>,
     /// Alive vertices per (switch, table), for edge rebuilding.
     pub(crate) by_location: HashMap<(SwitchId, TableId), Vec<VertexId>>,
+    /// Alive vertices whose output port leads *to* a switch (the
+    /// reverse of `next_switch`), so in-edge rebuilding collects
+    /// candidates without scanning every vertex in the graph.
+    pub(crate) by_next_switch: HashMap<SwitchId, Vec<VertexId>>,
+    /// Per-switch trie over vertex match fields. A vertex's resolved
+    /// input space is always a subset of its match field, so
+    /// `overlaps(pattern)` yields a superset of the vertices whose
+    /// input intersects `pattern` — the out-edge candidate set.
+    pub(crate) in_tries: HashMap<SwitchId, TernaryTrie>,
+    /// Per-*target*-switch trie over `T(match, set)` patterns of the
+    /// vertices forwarding to that switch. Every output-space term is a
+    /// subset of `T(match, set)`, so this bounds in-edge candidates the
+    /// same way.
+    pub(crate) out_tries: HashMap<SwitchId, TernaryTrie>,
     /// Step-1 out-edges.
     pub(crate) step1: Vec<Vec<VertexId>>,
     /// Step-1 in-edges (for incremental updates).
@@ -95,7 +110,7 @@ impl RuleGraph {
     /// forwarding entries at all.
     pub fn from_network(net: &Network) -> Result<Self, RuleGraphError> {
         let mut graph = Self::vertices_only(net)?;
-        graph.rebuild_all_edges(net);
+        graph.rebuild_all_edges();
         graph.check_acyclic()?;
         graph.rebuild_full_closure();
         Ok(graph)
@@ -150,16 +165,67 @@ impl RuleGraph {
             return Err(RuleGraphError::NoForwardingRules);
         }
         let n = vertices.len();
-        Ok(Self {
+        let mut graph = Self {
             header_len,
             vertices,
             by_entry,
             by_location,
+            by_next_switch: HashMap::new(),
+            in_tries: HashMap::new(),
+            out_tries: HashMap::new(),
             step1: vec![Vec::new(); n],
             step1_rev: vec![Vec::new(); n],
             closure: vec![Vec::new(); n],
             closure_set: HashSet::new(),
-        })
+        };
+        for i in 0..n {
+            graph.index_vertex(VertexId(i));
+        }
+        Ok(graph)
+    }
+
+    /// Registers a live vertex in the classifier indexes (`in_tries`,
+    /// `out_tries`, `by_next_switch`). Both trie keys are derived from
+    /// the vertex's immutable match/set fields, so the indexes stay
+    /// valid when resolved input/output spaces are recomputed.
+    pub(crate) fn index_vertex(&mut self, id: VertexId) {
+        let Some(vert) = self.vertices[id.0].as_ref() else {
+            return;
+        };
+        let m = vert.match_field;
+        self.in_tries
+            .entry(vert.switch)
+            .or_insert_with(TernaryTrie::new)
+            .insert(id.0 as u64, m.care_mask(), m.value_bits(), 0, m.len());
+        if let Some(peer) = vert.next_switch {
+            let out = out_pattern(vert);
+            self.out_tries
+                .entry(peer)
+                .or_insert_with(TernaryTrie::new)
+                .insert(id.0 as u64, out.care_mask(), out.value_bits(), 0, out.len());
+            self.by_next_switch.entry(peer).or_default().push(id);
+        }
+    }
+
+    /// Removes a vertex from the classifier indexes; `switch` and
+    /// `next_switch` describe where it was registered.
+    pub(crate) fn unindex_vertex(
+        &mut self,
+        id: VertexId,
+        switch: SwitchId,
+        next_switch: Option<SwitchId>,
+    ) {
+        if let Some(trie) = self.in_tries.get_mut(&switch) {
+            trie.remove(id.0 as u64);
+        }
+        if let Some(peer) = next_switch {
+            if let Some(trie) = self.out_tries.get_mut(&peer) {
+                trie.remove(id.0 as u64);
+            }
+            if let Some(list) = self.by_next_switch.get_mut(&peer) {
+                list.retain(|&x| x != id);
+            }
+        }
     }
 
     /// Header length in bits of the underlying rules.
@@ -348,8 +414,14 @@ impl RuleGraph {
         None
     }
 
-    /// Rebuilds every step-1 edge from scratch.
-    pub(crate) fn rebuild_all_edges(&mut self, _net: &Network) {
+    /// Rebuilds every step-1 edge from scratch, collecting candidate
+    /// pairs from the per-switch classifier tries.
+    ///
+    /// The result is the same edge set as
+    /// [`rebuild_all_edges_linear`](Self::rebuild_all_edges_linear):
+    /// the trie only bounds the candidates, and every candidate still
+    /// passes the exact `out ∩ in ≠ ∅` header-space check.
+    pub fn rebuild_all_edges(&mut self) {
         let n = self.vertices.len();
         self.step1 = vec![Vec::new(); n];
         self.step1_rev = vec![Vec::new(); n];
@@ -359,26 +431,78 @@ impl RuleGraph {
         }
     }
 
-    /// Recomputes the out-edges of a single vertex (clearing old ones).
-    pub(crate) fn rebuild_out_edges(&mut self, u: VertexId) {
-        // Clear current out-edges.
+    /// Reference implementation of [`rebuild_all_edges`]
+    /// (pairwise intersection over co-located vertices, no trie).
+    ///
+    /// Kept public so differential tests and benchmarks can pin the
+    /// classifier index against it; not intended for production
+    /// callers.
+    ///
+    /// [`rebuild_all_edges`]: Self::rebuild_all_edges
+    pub fn rebuild_all_edges_linear(&mut self) {
+        let n = self.vertices.len();
+        self.step1 = vec![Vec::new(); n];
+        self.step1_rev = vec![Vec::new(); n];
+        let ids: Vec<VertexId> = self.vertex_ids().collect();
+        for &u in &ids {
+            self.rebuild_out_edges_linear(u);
+        }
+    }
+
+    /// Clears the out-edges of `u`, returning its vertex data and the
+    /// peer switch if `u` can still emit packets toward one.
+    fn clear_out_edges(&mut self, u: VertexId) -> Option<(&RuleVertex, SwitchId)> {
         let old: Vec<VertexId> = std::mem::take(&mut self.step1[u.0]);
         for v in old {
             self.step1_rev[v.0].retain(|&x| x != u);
         }
-        let Some(vert) = self.vertices[u.0].as_ref() else {
+        let vert = self.vertices[u.0].as_ref()?;
+        let peer = vert.next_switch?; // host-facing egress: no successors
+        if vert.output.is_empty() {
+            return None; // shadowed rule can never emit a packet
+        }
+        Some((vert, peer))
+    }
+
+    /// Recomputes the out-edges of a single vertex (clearing old ones).
+    ///
+    /// A packet entering the peer starts in table 0, but goto chains
+    /// can carry it to forwarding entries in any table; effective
+    /// inputs already encode that reachability, so every vertex on the
+    /// peer whose match field intersects `T(u.match, u.set)` is a
+    /// candidate — collected from the peer's match-field trie instead
+    /// of scanning every co-located vertex.
+    pub(crate) fn rebuild_out_edges(&mut self, u: VertexId) {
+        let Some((vert, peer)) = self.clear_out_edges(u) else {
             return;
         };
-        let Some(peer) = vert.next_switch else {
-            return; // host-facing egress: no successors
+        let query = out_pattern(vert);
+        let candidates = match self.in_tries.get(&peer) {
+            Some(trie) => trie.overlaps(query.care_mask(), query.value_bits()),
+            None => return,
         };
-        if vert.output.is_empty() {
-            return; // shadowed rule can never emit a packet
+        for cand_id in candidates {
+            let v = VertexId(cand_id as usize);
+            if v == u {
+                continue;
+            }
+            let vert = self.vertices[u.0].as_ref().expect("u is live");
+            let cand = self.vertices[v.0].as_ref().expect("indexed vertex is live");
+            if !vert.output.intersect(&cand.input).is_empty() {
+                self.step1[u.0].push(v);
+                self.step1_rev[v.0].push(u);
+            }
         }
-        // A packet entering the peer starts in table 0, but goto chains
-        // can carry it to forwarding entries in any table; effective
-        // inputs already encode that reachability, so every vertex on
-        // the peer is a candidate.
+    }
+
+    /// Reference implementation of [`rebuild_out_edges`]: pairwise
+    /// intersection against every vertex on the peer switch.
+    ///
+    /// [`rebuild_out_edges`]: Self::rebuild_out_edges
+    pub(crate) fn rebuild_out_edges_linear(&mut self, u: VertexId) {
+        let Some((_, peer)) = self.clear_out_edges(u) else {
+            return;
+        };
         let candidates: Vec<VertexId> = self
             .by_location
             .iter()
@@ -389,6 +513,7 @@ impl RuleGraph {
             if v == u {
                 continue;
             }
+            let vert = self.vertices[u.0].as_ref().expect("u is live");
             let Some(cand) = self.vertices[v.0].as_ref() else {
                 continue;
             };
@@ -399,24 +524,63 @@ impl RuleGraph {
         }
     }
 
-    /// Recomputes the in-edges of a vertex: every vertex on a neighbouring
-    /// switch that outputs toward this vertex's switch is re-evaluated.
-    pub(crate) fn rebuild_in_edges(&mut self, v: VertexId) {
-        let Some(vert) = self.vertices[v.0].as_ref() else {
-            return;
-        };
-        let switch = vert.switch;
-        // Clear current in-edges.
+    /// Clears the in-edges of `v`, returning its hosting switch when
+    /// the vertex is live.
+    fn clear_in_edges(&mut self, v: VertexId) -> Option<SwitchId> {
+        let switch = self.vertices[v.0].as_ref()?.switch;
         let preds: Vec<VertexId> = std::mem::take(&mut self.step1_rev[v.0]);
         for p in preds {
             self.step1[p.0].retain(|&x| x != v);
         }
-        let candidates: Vec<VertexId> = self
-            .vertex_ids()
-            .filter(|&u| u != v && self.vertex(u).next_switch == Some(switch))
-            .collect();
+        Some(switch)
+    }
+
+    /// Recomputes the in-edges of a vertex: candidates are vertices
+    /// forwarding toward this vertex's switch whose `T(match, set)`
+    /// pattern intersects this vertex's match field, collected from the
+    /// switch's output-pattern trie.
+    pub(crate) fn rebuild_in_edges(&mut self, v: VertexId) {
+        let Some(switch) = self.clear_in_edges(v) else {
+            return;
+        };
+        let query = self.vertices[v.0].as_ref().expect("v is live").match_field;
+        let candidates = match self.out_tries.get(&switch) {
+            Some(trie) => trie.overlaps(query.care_mask(), query.value_bits()),
+            None => return,
+        };
+        for cand_id in candidates {
+            let u = VertexId(cand_id as usize);
+            if u == v {
+                continue;
+            }
+            let input = &self.vertices[v.0].as_ref().expect("v is live").input;
+            let cand = self.vertices[u.0].as_ref().expect("indexed vertex is live");
+            if !cand.output.intersect(input).is_empty() {
+                self.step1[u.0].push(v);
+                self.step1_rev[v.0].push(u);
+            }
+        }
+    }
+
+    /// Reference implementation of [`rebuild_in_edges`]: every vertex
+    /// in the `by_next_switch` reverse index for this vertex's switch
+    /// is re-evaluated pairwise.
+    ///
+    /// [`rebuild_in_edges`]: Self::rebuild_in_edges
+    pub(crate) fn rebuild_in_edges_linear(&mut self, v: VertexId) {
+        let Some(switch) = self.clear_in_edges(v) else {
+            return;
+        };
+        let candidates = self
+            .by_next_switch
+            .get(&switch)
+            .cloned()
+            .unwrap_or_default();
         let input = self.vertex(v).input.clone();
         for u in candidates {
+            if u == v {
+                continue;
+            }
             if !self.vertex(u).output.intersect(&input).is_empty() {
                 self.step1[u.0].push(v);
                 self.step1_rev[v.0].push(u);
@@ -677,6 +841,14 @@ pub(crate) fn effective_inputs(
     Ok(out)
 }
 
+/// The ternary pattern `T(r.m, r.s)` every packet emitted by `r`
+/// satisfies: each term of `r.out = T(r.in, r.s)` is a subset of it
+/// (since `r.in ⊆ r.m` and `T` preserves subsets), so it is a sound
+/// trie key for out-edge candidate queries.
+pub(crate) fn out_pattern(v: &RuleVertex) -> Ternary {
+    v.match_field.apply_set_field(&v.set_field)
+}
+
 /// `r.in = r.m − ⋃_{q >o r} q.m` over the hosting table; ties broken by
 /// entry id like the data plane's lookup.
 pub(crate) fn resolve_input(
@@ -689,8 +861,8 @@ pub(crate) fn resolve_input(
     let entry = ft.get(entry_id).expect("entry exists");
     let mut input = HeaderSet::from(entry.match_field());
     for (qid, q) in ft.iter() {
-        let higher = q.priority() > entry.priority()
-            || (q.priority() == entry.priority() && qid < entry_id);
+        let higher =
+            q.priority() > entry.priority() || (q.priority() == entry.priority() && qid < entry_id);
         if higher && q.match_field().overlaps(&entry.match_field()) {
             input = input.subtract_ternary(&q.match_field());
             if input.is_empty() {
@@ -717,7 +889,13 @@ mod tests {
     ///
     /// Topology: A-B, B-C, B-D, C-E, D-E. Header length 8.
     pub(crate) fn figure3() -> (Network, HashMap<&'static str, EntryId>) {
-        let (a, b, c, d, e) = (SwitchId(0), SwitchId(1), SwitchId(2), SwitchId(3), SwitchId(4));
+        let (a, b, c, d, e) = (
+            SwitchId(0),
+            SwitchId(1),
+            SwitchId(2),
+            SwitchId(3),
+            SwitchId(4),
+        );
         let mut topo = Topology::new(5);
         topo.add_link(a, b);
         topo.add_link(b, c);
@@ -735,8 +913,12 @@ mod tests {
         let p = port(&net, a, b);
         ids.insert(
             "a1",
-            net.install(a, TableId(0), FlowEntry::new(t("00101xxx"), Action::Output(p)))
-                .unwrap(),
+            net.install(
+                a,
+                TableId(0),
+                FlowEntry::new(t("00101xxx"), Action::Output(p)),
+            )
+            .unwrap(),
         );
         // b1: 0010xxxx -> C (priority 2); b2: 0011xxxx -> C (priority 1);
         // b3: 000xxxxx -> D (priority 0).
@@ -871,7 +1053,10 @@ mod tests {
         assert!(!has("c1", "e2"), "no c1->e2 (worked example)");
         assert!(!has("b2", "c1"), "b2 cannot reach c1 (disjoint)");
         assert!(!has("a1", "b2"), "a1 output disjoint from b2");
-        assert!(!has("a1", "b3"), "a1 shadowed at b3 by b1? no: different switch — b3 match 000 disjoint from 00101");
+        assert!(
+            !has("a1", "b3"),
+            "a1 shadowed at b3 by b1? no: different switch — b3 match 000 disjoint from 00101"
+        );
         assert!(!has("d1", "e1"), "d1 output 0111 disjoint from e1");
         assert!(!has("d1", "e2"), "d1 output 0111 disjoint from e2");
     }
@@ -976,7 +1161,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         // Low-priority rule entirely shadowed by a high-priority one.
         let shadowed = net
             .install(
@@ -1008,7 +1196,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         let fwd = net
             .install(
                 SwitchId(0),
@@ -1045,6 +1236,32 @@ mod tests {
         assert_eq!(stats.max_len, 4);
         assert!(stats.total_paths >= 4.0);
         assert!(stats.avg_len > 1.0 && stats.avg_len <= 4.0);
+    }
+
+    #[test]
+    fn trie_and_linear_edge_rebuilds_agree() {
+        use std::collections::BTreeSet;
+        let (net, _) = figure3();
+        let mut g = RuleGraph::from_network(&net).unwrap();
+        let fingerprint = |g: &RuleGraph| -> BTreeSet<(usize, usize)> {
+            g.vertex_ids()
+                .flat_map(|u| g.successors(u).iter().map(move |v| (u.0, v.0)))
+                .collect()
+        };
+        let via_trie = fingerprint(&g);
+        g.rebuild_all_edges_linear();
+        let via_linear = fingerprint(&g);
+        assert_eq!(via_trie, via_linear);
+        assert!(!via_trie.is_empty());
+        // Per-vertex in-edge rebuilds agree too.
+        for v in g.vertex_ids().collect::<Vec<_>>() {
+            g.rebuild_in_edges(v);
+        }
+        assert_eq!(fingerprint(&g), via_linear);
+        for v in g.vertex_ids().collect::<Vec<_>>() {
+            g.rebuild_in_edges_linear(v);
+        }
+        assert_eq!(fingerprint(&g), via_linear);
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl RuleGraph {
     /// be rebuilt (the controller should reject the update anyway).
     /// Returns [`RuleGraphError::UnknownEntry`] for a removal of an entry
     /// that was never seen.
-    pub fn apply_update(&mut self, net: &Network, update: &RuleUpdate) -> Result<(), RuleGraphError> {
+    pub fn apply_update(
+        &mut self,
+        net: &Network,
+        update: &RuleUpdate,
+    ) -> Result<(), RuleGraphError> {
         let affected = match update {
             RuleUpdate::Added { entry } => self.apply_added(net, *entry),
             RuleUpdate::Removed {
@@ -73,7 +77,10 @@ impl RuleGraph {
         let affected_set: HashSet<usize> = affected.iter().map(|v| v.0).collect();
         let mut sources: HashSet<usize> = affected_set.clone();
         for u in self.vertex_ids() {
-            if self.closure[u.0].iter().any(|v| affected_set.contains(&v.0)) {
+            if self.closure[u.0]
+                .iter()
+                .any(|v| affected_set.contains(&v.0))
+            {
                 sources.insert(u.0);
             }
         }
@@ -105,7 +112,10 @@ impl RuleGraph {
     /// Registers a newly installed entry; returns the affected vertices.
     fn apply_added(&mut self, net: &Network, entry: EntryId) -> Vec<VertexId> {
         let loc = net.location(entry).expect("entry was just installed");
-        let new = net.entry(entry).expect("entry was just installed").to_owned();
+        let new = net
+            .entry(entry)
+            .expect("entry was just installed")
+            .to_owned();
         // Forwarding entries get a vertex of their own (spaces are
         // filled in by the switch-wide recompute below).
         if let Action::Output(port) = new.action() {
@@ -131,6 +141,7 @@ impl RuleGraph {
             self.step1.push(Vec::new());
             self.step1_rev.push(Vec::new());
             self.closure.push(Vec::new());
+            self.index_vertex(id);
         }
         // Any change to a switch's tables can reshape effective inputs
         // across its whole pipeline (goto chains, shadowing): recompute
@@ -164,6 +175,8 @@ impl RuleGraph {
             if let Some(list) = self.by_location.get_mut(&(location.switch, location.table)) {
                 list.retain(|&x| x != dead);
             }
+            let next_switch = self.vertices[dead.0].as_ref().and_then(|v| v.next_switch);
+            self.unindex_vertex(dead, location.switch, next_switch);
             self.vertices[dead.0] = None;
         } else if matches!(old.action(), Action::Output(_)) {
             return Err(RuleGraphError::UnknownEntry(entry));
@@ -178,7 +191,11 @@ impl RuleGraph {
 
     /// Recomputes effective inputs for every live vertex on a switch;
     /// returns them as the affected set.
-    fn recompute_switch(&mut self, net: &Network, switch: sdnprobe_topology::SwitchId) -> Vec<VertexId> {
+    fn recompute_switch(
+        &mut self,
+        net: &Network,
+        switch: sdnprobe_topology::SwitchId,
+    ) -> Vec<VertexId> {
         let inputs = effective_inputs(net, switch)
             // Goto set fields are rejected at construction; a policy that
             // acquires one mid-flight is surfaced on the next rebuild.
@@ -311,7 +328,14 @@ mod tests {
                     let location = net.location(id).unwrap();
                     let old = net.remove(id).unwrap();
                     incremental
-                        .apply_update(&net, &RuleUpdate::Removed { entry: id, old, location })
+                        .apply_update(
+                            &net,
+                            &RuleUpdate::Removed {
+                                entry: id,
+                                old,
+                                location,
+                            },
+                        )
                         .unwrap();
                 } else {
                     let s = SwitchId(rng.gen_range(0..4));
@@ -402,7 +426,14 @@ mod tests {
                     let location = net.location(id).unwrap();
                     let old = net.remove(id).unwrap();
                     incremental
-                        .apply_update(&net, &RuleUpdate::Removed { entry: id, old, location })
+                        .apply_update(
+                            &net,
+                            &RuleUpdate::Removed {
+                                entry: id,
+                                old,
+                                location,
+                            },
+                        )
                         .unwrap();
                 } else {
                     let id = install_random(&mut net, &mut rng);
@@ -431,7 +462,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         let fwd = net
             .install(
                 SwitchId(0),
@@ -456,7 +490,8 @@ mod tests {
                 FlowEntry::new("000xxxxx".parse().unwrap(), Action::Drop).with_priority(5),
             )
             .unwrap();
-        g.apply_update(&net, &RuleUpdate::Added { entry: drop }).unwrap();
+        g.apply_update(&net, &RuleUpdate::Added { entry: drop })
+            .unwrap();
         let after = &g.vertex(g.vertex_of_entry(fwd).unwrap()).input;
         assert!(!after.contains_ternary(&"000xxxxx".parse().unwrap()));
         assert_eq!(g.vertex_count(), 2, "drop rule adds no vertex");
@@ -467,7 +502,10 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         let id = net
             .install(
                 SwitchId(0),
@@ -495,8 +533,14 @@ mod tests {
         let mut topo = Topology::new(2);
         topo.add_link(SwitchId(0), SwitchId(1));
         let mut net = Network::new(topo);
-        let p01 = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
-        let p10 = net.topology().port_towards(SwitchId(1), SwitchId(0)).unwrap();
+        let p01 = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
+        let p10 = net
+            .topology()
+            .port_towards(SwitchId(1), SwitchId(0))
+            .unwrap();
         net.install(
             SwitchId(0),
             TableId(0),
