@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the legality-engine fast path: MLPC and
+//! randomized plan generation over fat-tree and Rocketfuel-like
+//! workloads. These are the paths sped up by the bitset closure, the
+//! memoized cover-path expansion, and the allocation-lean header sets;
+//! `EXPERIMENTS.md` records before/after medians for the same scenarios.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdnprobe::{generate, generate_randomized, generate_with_cache, Parallelism};
+use sdnprobe_rulegraph::{ExpansionCache, RuleGraph};
+use sdnprobe_topology::generate::{fat_tree, rocketfuel_like};
+use sdnprobe_topology::Topology;
+use sdnprobe_workloads::{synthesize, SyntheticNetwork, WorkloadSpec};
+
+/// One benchmark scenario: a named topology carrying `flows` synthetic
+/// flows (the workload generator installs roughly `flows · path-length`
+/// rules).
+fn scenario(name: &str, topo: Topology, flows: usize) -> (String, SyntheticNetwork) {
+    let sn = synthesize(
+        &topo,
+        &WorkloadSpec {
+            flows,
+            k: 3,
+            nested_fraction: 0.2,
+            diversion_fraction: 0.3,
+            min_path_len: 5,
+            seed: 777,
+        },
+    );
+    (format!("{name}/{}", sn.rule_count()), sn)
+}
+
+/// Fat-tree and Rocketfuel-like sizes, small to large.
+fn scenarios() -> Vec<(String, SyntheticNetwork)> {
+    vec![
+        scenario("fat_tree_k4", fat_tree(4), 120),
+        scenario("rocketfuel_30", rocketfuel_like(30, 54, 777), 120),
+        scenario("rocketfuel_30", rocketfuel_like(30, 54, 777), 240),
+        scenario("rocketfuel_48", rocketfuel_like(48, 96, 777), 360),
+    ]
+}
+
+/// Deterministic MLPC generation (matching + expansion + selection).
+fn mlpc_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_generation/mlpc");
+    for (name, sn) in scenarios() {
+        let graph = RuleGraph::from_network(&sn.network).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |bench, graph| {
+            bench.iter(|| generate(black_box(graph)))
+        });
+    }
+    group.finish();
+}
+
+/// Plan regeneration over a stable graph with one persistent expansion
+/// memo, as a continuous-monitoring controller would hold between
+/// rounds. After the first (cold) iteration every cover path resolves
+/// from the cache, so this measures the steady-state round cost.
+fn mlpc_regeneration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_generation/mlpc_warm_cache");
+    for (name, sn) in scenarios() {
+        let graph = RuleGraph::from_network(&sn.network).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |bench, graph| {
+            let mut cache = ExpansionCache::new();
+            bench.iter(|| generate_with_cache(black_box(graph), &mut cache, Parallelism::auto()))
+        });
+    }
+    group.finish();
+}
+
+/// Randomized greedy generation (the per-round variant of §V-C).
+fn randomized_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_generation/randomized");
+    for (name, sn) in scenarios() {
+        let graph = RuleGraph::from_network(&sn.network).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |bench, graph| {
+            let mut rng = StdRng::seed_from_u64(3);
+            bench.iter(|| generate_randomized(black_box(graph), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+/// The legality predicate in isolation: repeated cover-path probes with
+/// a persistent [`ExpansionCache`] versus the uncached DFS, over every
+/// closure edge of the mid-size Rocketfuel workload.
+fn expansion_probes(c: &mut Criterion) {
+    let (_, sn) = scenario("rocketfuel_30", rocketfuel_like(30, 54, 777), 240);
+    let graph = RuleGraph::from_network(&sn.network).unwrap();
+    let covers: Vec<Vec<_>> = graph
+        .vertex_ids()
+        .flat_map(|u| graph.closure_successors(u).iter().map(move |&v| vec![u, v]))
+        .take(512)
+        .collect();
+
+    let mut group = c.benchmark_group("plan_generation/expansion");
+    group.bench_function("uncached", |bench| {
+        bench.iter(|| {
+            covers
+                .iter()
+                .filter(|cover| graph.expand_cover_path(black_box(cover)).is_some())
+                .count()
+        })
+    });
+    group.bench_function("cached", |bench| {
+        let mut cache = ExpansionCache::new();
+        bench.iter(|| {
+            covers
+                .iter()
+                .filter(|cover| graph.is_cover_path_expandable(black_box(cover), &mut cache))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    mlpc_generation,
+    mlpc_regeneration,
+    randomized_generation,
+    expansion_probes
+);
+criterion_main!(benches);

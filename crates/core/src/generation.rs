@@ -17,14 +17,12 @@
 //! in the test suite (the paper's proof lives in its unavailable full
 //! report).
 
-use std::collections::HashMap;
-
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use sdnprobe_headerspace::solver::WitnessQuery;
 use sdnprobe_headerspace::{Header, HeaderSet, Ternary};
 use sdnprobe_parallel::{parallel_map, Parallelism};
-use sdnprobe_rulegraph::{RuleGraph, VertexId};
+use sdnprobe_rulegraph::{ExpansionCache, RuleGraph, VertexId};
 
 use crate::plan::{PlannedProbe, TestPlan};
 use crate::traffic::TrafficProfile;
@@ -62,15 +60,35 @@ pub fn generate(graph: &RuleGraph) -> TestPlan {
 /// legal expansion fans out. The returned plan is bit-identical for any
 /// thread count — see `DESIGN.md` § Concurrency model.
 pub fn generate_with(graph: &RuleGraph, parallelism: Parallelism) -> TestPlan {
-    let mut matcher = LegalMatcher::new(graph);
+    generate_with_cache(graph, &mut ExpansionCache::new(), parallelism)
+}
+
+/// [`generate_with`] reusing a caller-held expansion memo.
+///
+/// Every cache entry is a pure function of the graph, so the returned
+/// plan is bit-identical to [`generate`] no matter what state the cache
+/// is in — fresh, warmed by earlier runs, or shared with the randomized
+/// generator. Reuse pays off when plans are regenerated over a stable
+/// (or incrementally updated) rule graph, as in continuous monitoring:
+/// the matching phase's legality probes and the expansion stage become
+/// memo lookups. The cache self-invalidates when the graph's
+/// [`generation`](RuleGraph::generation) changes.
+pub fn generate_with_cache(
+    graph: &RuleGraph,
+    cache: &mut ExpansionCache,
+    parallelism: Parallelism,
+) -> TestPlan {
+    let mut matcher = LegalMatcher::new(graph, std::mem::take(cache));
     matcher.run_maximum();
-    build_plan(
+    let plan = build_plan(
         graph,
-        &matcher,
+        &mut matcher,
         HeaderPick::Deterministic,
         &mut NoRng,
         parallelism,
-    )
+    );
+    *cache = matcher.cache;
+    plan
 }
 
 /// Generates a randomized test plan: randomized greedy legal matching
@@ -92,9 +110,25 @@ pub fn generate_randomized_with(
     rng: &mut impl RngCore,
     parallelism: Parallelism,
 ) -> TestPlan {
-    let mut matcher = LegalMatcher::new(graph);
+    generate_randomized_with_cache(graph, rng, &mut ExpansionCache::new(), parallelism)
+}
+
+/// [`generate_randomized_with`] reusing a caller-held expansion memo —
+/// the per-round variant of [`generate_with_cache`], for detection
+/// loops that draw a fresh randomized plan every round over the same
+/// graph. Same guarantee: for a fixed seed the plan is bit-identical
+/// whatever the cache holds.
+pub fn generate_randomized_with_cache(
+    graph: &RuleGraph,
+    rng: &mut impl RngCore,
+    cache: &mut ExpansionCache,
+    parallelism: Parallelism,
+) -> TestPlan {
+    let mut matcher = LegalMatcher::new(graph, std::mem::take(cache));
     matcher.run_randomized_greedy(rng);
-    build_plan(graph, &matcher, HeaderPick::Random, rng, parallelism)
+    let plan = build_plan(graph, &mut matcher, HeaderPick::Random, rng, parallelism);
+    *cache = matcher.cache;
+    plan
 }
 
 /// Like [`generate_randomized`], but probe headers are preferentially
@@ -120,11 +154,11 @@ pub fn generate_randomized_weighted_with(
     profile: &TrafficProfile,
     parallelism: Parallelism,
 ) -> TestPlan {
-    let mut matcher = LegalMatcher::new(graph);
+    let mut matcher = LegalMatcher::new(graph, ExpansionCache::new());
     matcher.run_randomized_greedy(rng);
     build_plan(
         graph,
-        &matcher,
+        &mut matcher,
         HeaderPick::TrafficWeighted(profile),
         rng,
         parallelism,
@@ -156,50 +190,74 @@ impl RngCore for NoRng {
 struct LegalMatcher<'g> {
     graph: &'g RuleGraph,
     /// `next[u] = v`: matched bipartite edge `(u, v')` — `v` follows `u`
-    /// on a cover path.
-    next: HashMap<usize, usize>,
+    /// on a cover path. Dense (indexed by vertex id): the matcher walks
+    /// these on every legality probe, so array indexing beats hashing.
+    next: Vec<Option<usize>>,
     /// Inverse of `next`.
-    prev: HashMap<usize, usize>,
+    prev: Vec<Option<usize>>,
     /// Live vertices that can carry packets (non-shadowed).
     active: Vec<VertexId>,
     /// Shadowed vertices, excluded from covering.
     shadowed: Vec<VertexId>,
+    /// Expansion memo: the matching phase re-probes cover paths that
+    /// grow one closure edge at a time, so nearly every legality check
+    /// resumes from a cached prefix. Owned by the matcher while it runs
+    /// (the parallel expansion stage only reads it); callers may hand in
+    /// a warm memo from an earlier run and take it back after.
+    cache: ExpansionCache,
+    /// Reusable cover-path scratch so every legality probe doesn't
+    /// allocate a fresh `Vec`.
+    path_buf: Vec<VertexId>,
 }
 
 impl<'g> LegalMatcher<'g> {
-    fn new(graph: &'g RuleGraph) -> Self {
+    fn new(graph: &'g RuleGraph, cache: ExpansionCache) -> Self {
         let (active, shadowed) = graph
             .vertex_ids()
             .partition(|&v| !graph.vertex(v).is_shadowed());
+        let cap = graph.vertex_ids().map(|v| v.0 + 1).max().unwrap_or(0);
         Self {
             graph,
-            next: HashMap::new(),
-            prev: HashMap::new(),
+            next: vec![None; cap],
+            prev: vec![None; cap],
             active,
             shadowed,
+            cache,
+            path_buf: Vec::new(),
+        }
+    }
+
+    /// Writes the cover path running through vertex `x` under the
+    /// current matching into `path`.
+    fn fill_cover_path(&self, x: usize, path: &mut Vec<VertexId>) {
+        let mut start = x;
+        while let Some(p) = self.prev[start] {
+            start = p;
+        }
+        path.clear();
+        path.push(VertexId(start));
+        let mut cur = start;
+        while let Some(n) = self.next[cur] {
+            path.push(VertexId(n));
+            cur = n;
         }
     }
 
     /// The cover path running through vertex `x` under the current
     /// matching.
     fn cover_path_through(&self, x: usize) -> Vec<VertexId> {
-        let mut start = x;
-        while let Some(&p) = self.prev.get(&start) {
-            start = p;
-        }
-        let mut path = vec![VertexId(start)];
-        let mut cur = start;
-        while let Some(&n) = self.next.get(&cur) {
-            path.push(VertexId(n));
-            cur = n;
-        }
+        let mut path = Vec::new();
+        self.fill_cover_path(x, &mut path);
         path
     }
 
     /// True if the cover path through `x` admits a legal real expansion.
-    fn path_legal_through(&self, x: usize) -> bool {
-        let path = self.cover_path_through(x);
-        self.graph.expand_cover_path(&path).is_some()
+    fn path_legal_through(&mut self, x: usize) -> bool {
+        let mut path = std::mem::take(&mut self.path_buf);
+        self.fill_cover_path(x, &mut path);
+        let legal = self.graph.is_cover_path_expandable(&path, &mut self.cache);
+        self.path_buf = path;
+        legal
     }
 
     /// Maximum legal matching: Kuhn-style augmenting search over closure
@@ -207,34 +265,36 @@ impl<'g> LegalMatcher<'g> {
     /// Left vertices are processed in topological order so chains match
     /// on the first try.
     fn run_maximum(&mut self) {
-        let order = self.active.clone();
-        for &u in &order {
-            let mut visited = vec![false; 0];
-            let max = self.graph.vertex_ids().map(|v| v.0).max().unwrap_or(0);
-            visited.resize(max + 1, false);
-            self.try_augment(u.0, &mut visited);
+        // Take the order out instead of cloning it; restored below.
+        let order = std::mem::take(&mut self.active);
+        let max = self.graph.vertex_ids().map(|v| v.0).max().unwrap_or(0);
+        // Stamped visited set: each attempt bumps the stamp instead of
+        // allocating (or zeroing) a fresh array.
+        let mut visited = vec![0u32; max + 1];
+        for (i, &u) in order.iter().enumerate() {
+            self.try_augment(u.0, i as u32 + 1, &mut visited);
         }
+        self.active = order;
     }
 
     /// One augmenting attempt from free left vertex `u`. On failure the
-    /// matching is restored exactly.
-    fn try_augment(&mut self, u: usize, visited: &mut [bool]) -> bool {
-        debug_assert!(!self.next.contains_key(&u));
-        let successors: Vec<usize> = self
-            .graph
-            .closure_successors(VertexId(u))
-            .iter()
-            .map(|v| v.0)
-            .collect();
-        for v in successors {
-            if visited[v] {
+    /// matching is restored exactly. A right vertex counts as visited
+    /// when its mark equals `stamp`.
+    fn try_augment(&mut self, u: usize, stamp: u32, visited: &mut [u32]) -> bool {
+        debug_assert!(self.next[u].is_none());
+        // `graph` is a shared borrow independent of `self`, so iterating
+        // its successor slice needs no intermediate Vec.
+        let graph = self.graph;
+        for &v in graph.closure_successors(VertexId(u)) {
+            let v = v.0;
+            if visited[v] == stamp {
                 continue;
             }
-            visited[v] = true;
-            if self.graph.vertex(VertexId(v)).is_shadowed() {
+            visited[v] = stamp;
+            if graph.vertex(VertexId(v)).is_shadowed() {
                 continue;
             }
-            match self.prev.get(&v).copied() {
+            match self.prev[v] {
                 None => {
                     // v is a free right vertex: add (u, v) and validate.
                     self.link(u, v);
@@ -247,7 +307,7 @@ impl<'g> LegalMatcher<'g> {
                     // Steal v from w, validate, then re-augment w.
                     self.unlink(w, v);
                     self.link(u, v);
-                    if self.path_legal_through(u) && self.try_augment(w, visited) {
+                    if self.path_legal_through(u) && self.try_augment(w, stamp, visited) {
                         return true;
                     }
                     self.unlink(u, v);
@@ -270,21 +330,21 @@ impl<'g> LegalMatcher<'g> {
     /// minimum (paper: +72 % on average).
     fn run_randomized_greedy(&mut self, rng: &mut impl RngCore) {
         const BREAK_PROBABILITY: f64 = 0.15;
-        let mut order = self.active.clone();
+        // Take the order out instead of cloning it; `cover_paths` sorts,
+        // so restoring the shuffled order is observationally identical.
+        let mut order = std::mem::take(&mut self.active);
         order.shuffle(rng);
-        for u in order {
+        // Reusable successor scratch — one allocation for the whole run.
+        let mut succs: Vec<usize> = Vec::new();
+        for &u in &order {
             if rand::Rng::gen_bool(rng, BREAK_PROBABILITY) {
                 continue; // leave `u` as a path terminal this round
             }
-            let mut succs: Vec<usize> = self
-                .graph
-                .closure_successors(u)
-                .iter()
-                .map(|v| v.0)
-                .collect();
+            succs.clear();
+            succs.extend(self.graph.closure_successors(u).iter().map(|v| v.0));
             succs.shuffle(rng);
-            for v in succs {
-                if self.prev.contains_key(&v) || self.graph.vertex(VertexId(v)).is_shadowed() {
+            for &v in &succs {
+                if self.prev[v].is_some() || self.graph.vertex(VertexId(v)).is_shadowed() {
                     continue;
                 }
                 self.link(u.0, v);
@@ -294,23 +354,24 @@ impl<'g> LegalMatcher<'g> {
                 self.unlink(u.0, v);
             }
         }
+        self.active = order;
     }
 
     fn link(&mut self, u: usize, v: usize) {
-        self.next.insert(u, v);
-        self.prev.insert(v, u);
+        self.next[u] = Some(v);
+        self.prev[v] = Some(u);
     }
 
     fn unlink(&mut self, u: usize, v: usize) {
-        self.next.remove(&u);
-        self.prev.remove(&v);
+        self.next[u] = None;
+        self.prev[v] = None;
     }
 
     /// Extracts the cover paths implied by the matching.
     fn cover_paths(&self) -> Vec<Vec<VertexId>> {
         let mut paths = Vec::new();
         for &v in &self.active {
-            if !self.prev.contains_key(&v.0) {
+            if self.prev[v.0].is_none() {
                 paths.push(self.cover_path_through(v.0));
             }
         }
@@ -321,25 +382,39 @@ impl<'g> LegalMatcher<'g> {
 
 fn build_plan(
     graph: &RuleGraph,
-    matcher: &LegalMatcher<'_>,
+    matcher: &mut LegalMatcher<'_>,
     pick: HeaderPick<'_>,
     rng: &mut impl RngCore,
     parallelism: Parallelism,
 ) -> TestPlan {
     let covers = matcher.cover_paths();
-    // Stage 1 (parallel): legal expansion of each cover path. Each
-    // expansion reads only the immutable graph, so the fan-out cannot
-    // change any result; `parallel_map` returns them in cover order.
+    // Stage 1 (sequential): make sure every matched cover path's
+    // canonical expansion is memoized. The matcher probed every final
+    // chain, so this settles in the memo almost everywhere — it only
+    // re-derives paths whose cached proof was a non-canonical witness —
+    // and on a reused cache it is pure lookups. Doing it through the
+    // cache (rather than per-cover in stage 2) is what lets those
+    // derivations survive into later runs.
+    for cover in &covers {
+        graph
+            .expand_cover_path_cached(cover, &mut matcher.cache)
+            .expect("matcher maintains the legality invariant");
+    }
+    // Stage 2 (parallel): hand out each cover path's expansion. Reads
+    // only the immutable graph and the now-settled memo, so the fan-out
+    // cannot change any result; `parallel_map` returns them in cover
+    // order.
+    let cache = &matcher.cache;
     let expanded: Vec<(Vec<VertexId>, HeaderSet)> = parallel_map(parallelism, &covers, |cover| {
         graph
-            .expand_cover_path(cover)
-            .expect("matcher maintains the legality invariant")
+            .peek_expansion(cover, cache)
+            .expect("stage 1 memoized every cover path")
     });
     // Stage 2 (sequential, in cover order): header selection consumes
     // the RNG and deduplicates against `taken`, so it must run in the
     // original order to keep plans bit-identical across thread counts.
     let mut probes = Vec::new();
-    let mut taken: Vec<Header> = Vec::new();
+    let mut taken = TakenHeaders::default();
     for (cover, (path, header_space)) in covers.into_iter().zip(expanded) {
         let header = choose_header(graph, &path, &header_space, &taken, pick, rng)
             // Header spaces exhausted by uniqueness constraints are
@@ -362,13 +437,33 @@ fn build_plan(
     }
 }
 
+/// Headers already assigned to probes, kept both in insertion order (the
+/// solver enumerates them) and hashed (the per-candidate uniqueness
+/// check is a set lookup instead of an `O(probes)` scan).
+#[derive(Default)]
+struct TakenHeaders {
+    ordered: Vec<Header>,
+    set: std::collections::HashSet<Header>,
+}
+
+impl TakenHeaders {
+    fn push(&mut self, h: Header) {
+        self.ordered.push(h);
+        self.set.insert(h);
+    }
+
+    fn contains(&self, h: &Header) -> bool {
+        self.set.contains(h)
+    }
+}
+
 /// Picks a unique header from `HS(ℓ)`: must not collide with another
 /// probe's header (§VI's uniqueness constraint).
 fn choose_header(
     graph: &RuleGraph,
     path: &[VertexId],
     space: &sdnprobe_headerspace::HeaderSet,
-    taken: &[Header],
+    taken: &TakenHeaders,
     pick: HeaderPick<'_>,
     rng: &mut impl RngCore,
 ) -> Option<Header> {
@@ -403,10 +498,10 @@ fn choose_header(
     }
 }
 
-fn solve_unique(space: &sdnprobe_headerspace::HeaderSet, taken: &[Header]) -> Option<Header> {
+fn solve_unique(space: &sdnprobe_headerspace::HeaderSet, taken: &TakenHeaders) -> Option<Header> {
     space.terms().iter().find_map(|t| {
         WitnessQuery::new(*t)
-            .avoid_all(taken.iter().map(|h| Ternary::from_header(*h)))
+            .avoid_all(taken.ordered.iter().map(|h| Ternary::from_header(*h)))
             .solve()
     })
 }

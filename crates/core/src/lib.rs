@@ -55,11 +55,12 @@ mod traffic;
 pub use app::{DetectError, RandomizedSdnProbe, RandomizedSession, SdnProbe};
 pub use generation::{
     generate, generate_randomized, generate_randomized_weighted, generate_randomized_weighted_with,
-    generate_randomized_with, generate_with,
+    generate_randomized_with, generate_randomized_with_cache, generate_with, generate_with_cache,
 };
 pub use localize::{accuracy, Accuracy, DetectionReport, FaultLocalizer, ProbeConfig};
 pub use monitor::{Monitor, MonitorEvent};
 pub use plan::{PlannedProbe, TestPlan};
 pub use probe::{ActiveProbe, ProbeHarness};
 pub use sdnprobe_parallel::Parallelism;
+pub use sdnprobe_rulegraph::ExpansionCache;
 pub use traffic::TrafficProfile;

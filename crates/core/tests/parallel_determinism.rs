@@ -11,8 +11,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdnprobe::{
-    generate_randomized_weighted_with, generate_randomized_with, generate_with, Parallelism,
-    TestPlan, TrafficProfile,
+    generate_randomized_weighted_with, generate_randomized_with, generate_randomized_with_cache,
+    generate_with, generate_with_cache, ExpansionCache, Parallelism, TestPlan, TrafficProfile,
 };
 use sdnprobe_rulegraph::RuleGraph;
 use sdnprobe_topology::generate::rocketfuel_like;
@@ -97,6 +97,58 @@ fn weighted_plan_identical_across_thread_counts_for_fixed_seed() {
     let parallel =
         generate_randomized_weighted_with(&graph, &mut rng, &profile, Parallelism::with_threads(8));
     assert_eq!(fingerprint(&parallel), baseline);
+}
+
+#[test]
+fn warm_cache_plans_identical_to_fresh() {
+    // Reusing one expansion memo across runs — including sharing it
+    // between the deterministic and randomized generators — must not
+    // change a single bit of any plan: every cache entry is a pure
+    // function of the graph.
+    let graph = graph();
+    let baseline = fingerprint(&generate_with(&graph, Parallelism::sequential()));
+    let mut rng = StdRng::seed_from_u64(7);
+    let rand_baseline = fingerprint(&generate_randomized_with(
+        &graph,
+        &mut rng,
+        Parallelism::sequential(),
+    ));
+    let mut cache = ExpansionCache::new();
+    for round in 0..3 {
+        let plan = generate_with_cache(&graph, &mut cache, Parallelism::sequential());
+        assert_eq!(fingerprint(&plan), baseline, "round {round} diverged");
+        let mut rng = StdRng::seed_from_u64(7);
+        let plan =
+            generate_randomized_with_cache(&graph, &mut rng, &mut cache, Parallelism::sequential());
+        assert_eq!(fingerprint(&plan), rand_baseline, "round {round} diverged");
+    }
+    assert!(cache.hits() > cache.misses(), "reuse should dominate");
+    // Warm caches must stay bit-identical across thread counts too.
+    let plan = generate_with_cache(&graph, &mut cache, Parallelism::with_threads(8));
+    assert_eq!(fingerprint(&plan), baseline);
+}
+
+#[test]
+fn warm_cache_does_not_validate_against_another_graph() {
+    // Same topology and workload, but a different graph instance: the
+    // memo must invalidate instead of serving stale entries.
+    let g1 = graph();
+    let g2 = graph();
+    let mut cache = ExpansionCache::new();
+    let _ = generate_with_cache(&g1, &mut cache, Parallelism::sequential());
+    assert!(!cache.is_empty());
+    let baseline = fingerprint(&generate_with(&g2, Parallelism::sequential()));
+    let plan = generate_with_cache(&g2, &mut cache, Parallelism::sequential());
+    assert_eq!(fingerprint(&plan), baseline);
+    // A clone may be mutated independently of the original, so even an
+    // (unmutated) clone must not inherit cache validity.
+    let g3 = g1.clone();
+    let pre = cache.len();
+    let _ = generate_with_cache(&g1, &mut cache, Parallelism::sequential());
+    assert_eq!(cache.len(), pre, "warm rerun must not regrow the memo");
+    let baseline = fingerprint(&generate_with(&g3, Parallelism::sequential()));
+    let plan = generate_with_cache(&g3, &mut cache, Parallelism::sequential());
+    assert_eq!(fingerprint(&plan), baseline);
 }
 
 #[test]

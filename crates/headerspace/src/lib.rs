@@ -38,6 +38,7 @@ mod header;
 mod layout;
 mod set;
 pub mod solver;
+mod termvec;
 mod ternary;
 
 pub use error::HeaderSpaceError;

@@ -15,6 +15,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use crate::header::Header;
+use crate::termvec::TermVec;
 use crate::ternary::Ternary;
 
 /// A union of ternary patterns describing a set of headers.
@@ -36,28 +37,55 @@ use crate::ternary::Ternary;
 /// # Ok::<(), sdnprobe_headerspace::HeaderSpaceError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "HeaderSetRepr", into = "HeaderSetRepr")]
 pub struct HeaderSet {
-    /// DNF terms; pairwise non-subsuming, all of equal length.
-    terms: Vec<Ternary>,
+    /// DNF terms; pairwise non-subsuming, all of equal length. Stored
+    /// inline for the 1–2 term sets that dominate legality checking.
+    terms: TermVec,
     /// Header length in bits; kept even when `terms` is empty.
     len: u32,
+}
+
+/// Serialized form: the plain term list. Inline small-term storage is a
+/// runtime representation detail and must not leak into the format.
+#[derive(Serialize, Deserialize)]
+struct HeaderSetRepr {
+    terms: Vec<Ternary>,
+    len: u32,
+}
+
+impl From<HeaderSet> for HeaderSetRepr {
+    fn from(s: HeaderSet) -> Self {
+        Self {
+            terms: (&s.terms).into(),
+            len: s.len,
+        }
+    }
+}
+
+impl From<HeaderSetRepr> for HeaderSet {
+    fn from(r: HeaderSetRepr) -> Self {
+        Self {
+            terms: r.terms.into(),
+            len: r.len,
+        }
+    }
 }
 
 impl HeaderSet {
     /// The empty set over `len`-bit headers.
     pub fn empty(len: u32) -> Self {
         Self {
-            terms: Vec::new(),
+            terms: TermVec::new(),
             len,
         }
     }
 
     /// The full space `{x}^len` (the paper's `O_0`).
     pub fn full(len: u32) -> Self {
-        Self {
-            terms: vec![Ternary::wildcard(len)],
-            len,
-        }
+        let mut terms = TermVec::new();
+        terms.push(Ternary::wildcard(len));
+        Self { terms, len }
     }
 
     /// Builds a set from a union of patterns.
@@ -72,10 +100,7 @@ impl HeaderSet {
         let first = iter
             .next()
             .expect("from_union requires at least one pattern");
-        let mut set = Self {
-            terms: vec![first],
-            len: first.len(),
-        };
+        let mut set = HeaderSet::from(first);
         for t in iter {
             set.insert(t);
         }
@@ -94,7 +119,7 @@ impl HeaderSet {
 
     /// The DNF terms of this set.
     pub fn terms(&self) -> &[Ternary] {
-        &self.terms
+        self.terms.as_slice()
     }
 
     /// Number of DNF terms (representation size, not cardinality).
@@ -169,6 +194,15 @@ impl HeaderSet {
         out
     }
 
+    /// True iff the two sets share at least one header, without
+    /// materializing the intersection. Terms are unions, so one
+    /// overlapping term pair suffices.
+    pub fn intersects(&self, other: &HeaderSet) -> bool {
+        self.terms
+            .iter()
+            .any(|u| other.terms.iter().any(|v| u.overlaps(v)))
+    }
+
     /// Union of two sets.
     pub fn union(&self, other: &HeaderSet) -> HeaderSet {
         let mut out = self.clone();
@@ -236,9 +270,77 @@ impl HeaderSet {
         out
     }
 
+    /// In-place [`HeaderSet::intersect_ternary`]: replaces `self` with
+    /// `self ∩ t`.
+    ///
+    /// Replays exactly the insert sequence of the pure variant, so the
+    /// resulting term order — observable through [`HeaderSet::terms`] and
+    /// [`HeaderSet::any_header`] — is identical; only the intermediate
+    /// allocation is gone (inline storage is reused directly).
+    pub fn intersect_ternary_in_place(&mut self, t: &Ternary) {
+        let old = std::mem::take(&mut self.terms);
+        for u in old.iter() {
+            if let Some(i) = u.intersect(t) {
+                self.insert(i);
+            }
+        }
+    }
+
+    /// In-place [`HeaderSet::intersect`]; same term order as the pure
+    /// variant.
+    pub fn intersect_in_place(&mut self, other: &HeaderSet) {
+        let old = std::mem::take(&mut self.terms);
+        for u in old.iter() {
+            for v in &other.terms {
+                if let Some(i) = u.intersect(v) {
+                    self.insert(i);
+                }
+            }
+        }
+    }
+
+    /// In-place [`HeaderSet::subtract_ternary`]; same term order as the
+    /// pure variant.
+    pub fn subtract_ternary_in_place(&mut self, t: &Ternary) {
+        let old = std::mem::take(&mut self.terms);
+        for u in old.iter() {
+            if !u.overlaps(t) {
+                self.insert(*u);
+                continue;
+            }
+            if u.is_subset_of(t) {
+                continue;
+            }
+            for piece in t.complement() {
+                if let Some(i) = u.intersect(&piece) {
+                    self.insert(i);
+                }
+            }
+        }
+    }
+
+    /// In-place [`HeaderSet::apply_set_field`]; same term order as the
+    /// pure variant.
+    pub fn apply_set_field_in_place(&mut self, set_field: &Ternary) {
+        let old = std::mem::take(&mut self.terms);
+        for u in old.iter() {
+            self.insert(u.apply_set_field(set_field));
+        }
+    }
+
+    /// True if every header in the set matches at least one of the
+    /// patterns, i.e. `self − ⋃ patterns = ∅`.
+    ///
+    /// This decides emptiness of the paper's rule input
+    /// `r.in = r.m − ⋃_{q >o r} q.m` without materializing the
+    /// subtraction's complement pieces (see [`Ternary::is_covered_by`]).
+    pub fn is_covered_by(&self, patterns: &[Ternary]) -> bool {
+        self.terms.iter().all(|t| t.is_covered_by(patterns))
+    }
+
     /// Any concrete header from the set, or `None` if empty.
     pub fn any_header(&self) -> Option<Header> {
-        self.terms.first().map(|t| t.min_header())
+        self.terms.as_slice().first().map(|t| t.min_header())
     }
 
     /// Samples a header approximately uniformly: picks a term weighted by
@@ -258,7 +360,7 @@ impl HeaderSet {
             }
             pick -= w;
         }
-        self.terms.last().map(|t| t.sample_header(rng))
+        self.terms.as_slice().last().map(|t| t.sample_header(rng))
     }
 
     /// Exact number of headers in the set (inclusion–exclusion free:
@@ -269,10 +371,10 @@ impl HeaderSet {
         let mut count = 0u128;
         for (i, t) in self.terms.iter().enumerate() {
             let mut piece = HeaderSet::from(*t);
-            for prev in &self.terms[..i] {
+            for prev in &self.terms.as_slice()[..i] {
                 piece = piece.subtract_ternary(prev);
             }
-            for disjoint in piece.terms {
+            for disjoint in piece.terms.iter() {
                 count += 1u128 << disjoint.wildcard_bit_count();
             }
         }
@@ -282,8 +384,10 @@ impl HeaderSet {
 
 impl From<Ternary> for HeaderSet {
     fn from(t: Ternary) -> Self {
+        let mut terms = TermVec::new();
+        terms.push(t);
         Self {
-            terms: vec![t],
+            terms,
             len: t.len(),
         }
     }
@@ -503,6 +607,71 @@ mod tests {
             let image = Header::new((h.bits() & !s_field.care_mask()) | s_field.value_bits(), 6);
             assert_eq!(pre.contains(h), out.contains(image), "at {h}");
         }
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_variants_exactly() {
+        // Bit-identity matters: term *order* decides `any_header`, so the
+        // in-place variants must reproduce the pure results field for
+        // field, not just as equal sets.
+        let bases = [
+            HeaderSet::from_union([t("0xx1xx"), t("x10xxx"), t("11xxx0")]),
+            HeaderSet::from(t("001xxx")),
+            HeaderSet::empty(6),
+        ];
+        let args = [t("0101xx"), t("xx0x1x"), t("xxxxxx"), t("010101")];
+        for base in &bases {
+            for a in &args {
+                let pure = base.intersect_ternary(a);
+                let mut inplace = base.clone();
+                inplace.intersect_ternary_in_place(a);
+                assert_eq!(pure.terms(), inplace.terms());
+
+                let pure = base.subtract_ternary(a);
+                let mut inplace = base.clone();
+                inplace.subtract_ternary_in_place(a);
+                assert_eq!(pure.terms(), inplace.terms());
+
+                let pure = base.apply_set_field(a);
+                let mut inplace = base.clone();
+                inplace.apply_set_field_in_place(a);
+                assert_eq!(pure.terms(), inplace.terms());
+
+                let other = HeaderSet::from_union([*a, t("1x1x1x")]);
+                let pure = base.intersect(&other);
+                let mut inplace = base.clone();
+                inplace.intersect_in_place(&other);
+                assert_eq!(pure.terms(), inplace.terms());
+            }
+        }
+    }
+
+    #[test]
+    fn is_covered_by_agrees_with_materialized_subtraction() {
+        let base = HeaderSet::from_union([t("0xx1xx"), t("x10xxx")]);
+        let cases: [&[Ternary]; 5] = [
+            &[t("xxxxxx")],
+            &[t("0xxxxx"), t("x1xxxx")],
+            &[t("0101xx")],
+            &[],
+            &[t("0xx1xx"), t("x10xxx")],
+        ];
+        for patterns in cases {
+            let mut diff = base.clone();
+            for q in patterns {
+                diff = diff.subtract_ternary(q);
+            }
+            assert_eq!(
+                base.is_covered_by(patterns),
+                diff.is_empty(),
+                "patterns {patterns:?}"
+            );
+        }
+        // A cover that needs both patterns jointly (neither alone covers).
+        let m = HeaderSet::from(t("xxxx"));
+        assert!(m.is_covered_by(&[t("0xxx"), t("1xxx")]));
+        assert!(!m.is_covered_by(&[t("0xxx")]));
+        assert!(HeaderSet::empty(4).is_covered_by(&[]));
     }
 
     #[test]

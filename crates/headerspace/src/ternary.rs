@@ -364,6 +364,51 @@ impl Ternary {
         out
     }
 
+    /// True if every header matched by `self` is matched by at least one
+    /// of `patterns`, i.e. `self ⊆ ⋃ patterns`.
+    ///
+    /// Exact even when the cover requires several patterns jointly:
+    /// decided by recursively splitting on a bit some overlapping pattern
+    /// fixes but `self` leaves wildcard (the same scheme as
+    /// `HeaderSet::contains_ternary`). Used as the early-exit emptiness
+    /// check for `m − ⋃ qᵢ`, skipping the complement expansion entirely
+    /// when a rule is fully shadowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern length differs from `self`'s.
+    pub fn is_covered_by(&self, patterns: &[Ternary]) -> bool {
+        if patterns.iter().any(|q| self.is_subset_of(q)) {
+            return true;
+        }
+        // Cardinality bound: `self ∩ q` holds exactly 2^w headers (w =
+        // joint wildcard bits) when the two overlap, so if those sizes
+        // cannot even sum to |self| the union cannot cover it. This
+        // settles the common not-covered case without any splitting.
+        let wild = self.len - self.care.count_ones();
+        if wild < 128 {
+            let mut have = 0u128;
+            for q in patterns.iter().filter(|q| q.overlaps(self)) {
+                let joint = self.len - (self.care | q.care).count_ones();
+                have = have.saturating_add(1u128 << joint.min(127));
+            }
+            if have < 1u128 << wild {
+                return false;
+            }
+        }
+        let Some(q) = patterns.iter().find(|q| q.overlaps(self)) else {
+            return false;
+        };
+        for k in 0..self.len {
+            if q.bit(k).is_some() && self.bit(k).is_none() {
+                return self.with_bit(k, false).is_covered_by(patterns)
+                    && self.with_bit(k, true).is_covered_by(patterns);
+            }
+        }
+        // `self` fixes every bit `q` fixes and they overlap, so self ⊆ q.
+        true
+    }
+
     fn assert_same_len(&self, other_len: u32) {
         assert_eq!(
             self.len, other_len,

@@ -1,0 +1,284 @@
+//! Word-packed bit structures backing the legality engine.
+//!
+//! [`BitMatrix`] stores one bit per ordered vertex pair in `Vec<u64>`
+//! rows. Membership queries are a single shift-and-mask instead of a
+//! `HashSet<(usize, usize)>` probe, and whole-row operations (union,
+//! intersection tests) run 64 pairs per instruction — which is what the
+//! incremental maintenance path and the step-1 reachability closure
+//! exploit.
+//!
+//! [`VisitSet`] is the classic reusable stamped visited set: `begin`
+//! bumps an epoch counter instead of zeroing the backing array, so a
+//! DFS can be restarted thousands of times without re-clearing.
+
+/// A dense `rows × rows` bit matrix with `u64`-packed rows.
+///
+/// Row `u` holds the successor set of vertex `u`; storage is
+/// `rows²/8` bytes, which stays small at SDNProbe's per-network rule
+/// counts (a 10 000-vertex graph needs ~12 MiB) while making edge
+/// queries branch-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    words_per_row: usize,
+    rows: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix over `rows` vertices.
+    pub fn new(rows: usize) -> Self {
+        let words_per_row = rows.div_ceil(64);
+        Self {
+            words_per_row,
+            rows,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows (and columns).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Sets bit `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn set(&mut self, u: usize, v: usize) {
+        assert!(u < self.rows && v < self.rows, "bit index out of range");
+        self.bits[u * self.words_per_row + v / 64] |= 1u64 << (v % 64);
+    }
+
+    /// True if bit `(u, v)` is set; out-of-range pairs are unset.
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        if u >= self.rows || v >= self.rows {
+            return false;
+        }
+        self.bits[u * self.words_per_row + v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Clears every bit in row `u`.
+    pub fn clear_row(&mut self, u: usize) {
+        let start = u * self.words_per_row;
+        self.bits[start..start + self.words_per_row].fill(0);
+    }
+
+    /// ORs row `src` into row `dst`: `dst |= src`. The reverse-topological
+    /// closure sweep is just this, once per edge.
+    pub fn or_row(&mut self, dst: usize, src: usize) {
+        if dst == src {
+            return;
+        }
+        let w = self.words_per_row;
+        let (d0, s0) = (dst * w, src * w);
+        if s0 < d0 {
+            let (lo, hi) = self.bits.split_at_mut(d0);
+            for i in 0..w {
+                hi[i] |= lo[s0 + i];
+            }
+        } else {
+            let (lo, hi) = self.bits.split_at_mut(s0);
+            for i in 0..w {
+                lo[d0 + i] |= hi[i];
+            }
+        }
+    }
+
+    /// True if row `u` and `mask` share a set bit (word-wise AND scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` was built for a different row width.
+    pub fn row_intersects(&self, u: usize, mask: &[u64]) -> bool {
+        assert_eq!(mask.len(), self.words_per_row, "mask width mismatch");
+        let start = u * self.words_per_row;
+        self.bits[start..start + self.words_per_row]
+            .iter()
+            .zip(mask)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Builds a mask over column indices, suitable for
+    /// [`BitMatrix::row_intersects`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn make_row_mask(&self, ids: impl IntoIterator<Item = usize>) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words_per_row];
+        for v in ids {
+            assert!(v < self.rows, "mask index out of range");
+            mask[v / 64] |= 1u64 << (v % 64);
+        }
+        mask
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Appends zero rows (and columns) up to `new_rows`, preserving all
+    /// existing bits. Used when an incremental update adds a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_rows < self.rows()`.
+    pub fn grow(&mut self, new_rows: usize) {
+        assert!(new_rows >= self.rows, "BitMatrix cannot shrink");
+        let new_w = new_rows.div_ceil(64);
+        if new_w == self.words_per_row {
+            self.bits.resize(new_rows * new_w, 0);
+        } else {
+            let mut bits = vec![0u64; new_rows * new_w];
+            for r in 0..self.rows {
+                let old = &self.bits[r * self.words_per_row..(r + 1) * self.words_per_row];
+                bits[r * new_w..r * new_w + self.words_per_row].copy_from_slice(old);
+            }
+            self.bits = bits;
+            self.words_per_row = new_w;
+        }
+        self.rows = new_rows;
+    }
+}
+
+/// A reusable visited set with O(1) reset via epoch stamping.
+///
+/// `begin(n)` opens a new epoch; `contains` is true only for slots
+/// inserted during the current epoch. Replaces the matcher's per-probe
+/// `Vec<bool>` allocations and the expansion DFS's `O(|path|)` revisit
+/// scans.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VisitSet {
+    stamp: u32,
+    marks: Vec<u32>,
+}
+
+impl VisitSet {
+    /// Starts a fresh epoch covering slots `0..n`.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        if self.stamp == u32::MAX {
+            self.marks.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.marks[i] = self.stamp;
+    }
+
+    /// Un-marks a slot (stamp 0 never equals a live epoch).
+    pub(crate) fn remove(&mut self, i: usize) {
+        self.marks[i] = 0;
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.marks[i] == self.stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn set_contains_clear_row() {
+        let mut m = BitMatrix::new(130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(129, 64);
+        assert!(m.contains(0, 0) && m.contains(0, 129) && m.contains(129, 64));
+        assert!(!m.contains(1, 0));
+        assert!(!m.contains(200, 0) && !m.contains(0, 200));
+        assert_eq!(m.count_ones(), 3);
+        m.clear_row(0);
+        assert!(!m.contains(0, 129));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn or_row_unions_both_directions() {
+        let mut m = BitMatrix::new(70);
+        m.set(1, 3);
+        m.set(1, 69);
+        m.set(5, 7);
+        m.or_row(5, 1); // src < dst
+        assert!(m.contains(5, 3) && m.contains(5, 69) && m.contains(5, 7));
+        m.or_row(0, 5); // dst < src
+        assert!(m.contains(0, 3) && m.contains(0, 69) && m.contains(0, 7));
+        m.or_row(5, 5); // no-op
+        assert_eq!(m.count_ones(), 2 + 3 + 3);
+    }
+
+    #[test]
+    fn row_intersects_and_masks() {
+        let mut m = BitMatrix::new(100);
+        m.set(2, 65);
+        let hit = m.make_row_mask([65, 99]);
+        let miss = m.make_row_mask([0, 64, 66]);
+        assert!(m.row_intersects(2, &hit));
+        assert!(!m.row_intersects(2, &miss));
+        assert!(!m.row_intersects(3, &hit));
+    }
+
+    #[test]
+    fn grow_preserves_bits_across_word_boundary() {
+        let mut m = BitMatrix::new(10);
+        m.set(3, 9);
+        m.set(9, 0);
+        m.grow(10); // same size: no-op
+        m.grow(64); // same word width
+        m.grow(200); // wider rows: re-layout
+        assert!(m.contains(3, 9) && m.contains(9, 0));
+        assert_eq!(m.count_ones(), 2);
+        m.set(199, 199);
+        assert!(m.contains(199, 199));
+    }
+
+    #[test]
+    fn matches_hash_set_on_random_pairs() {
+        // Deterministic LCG; Math-free differential check vs HashSet.
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let n = 90;
+        let mut m = BitMatrix::new(n);
+        let mut reference: HashSet<(usize, usize)> = HashSet::new();
+        for _ in 0..500 {
+            let (u, v) = (next() % n, next() % n);
+            m.set(u, v);
+            reference.insert((u, v));
+        }
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(m.contains(u, v), reference.contains(&(u, v)));
+            }
+        }
+        assert_eq!(m.count_ones(), reference.len());
+    }
+
+    #[test]
+    fn visit_set_epochs_are_independent() {
+        let mut v = VisitSet::default();
+        v.begin(10);
+        v.insert(3);
+        v.insert(7);
+        v.remove(7);
+        assert!(v.contains(3) && !v.contains(7) && !v.contains(0));
+        v.begin(10);
+        assert!(!v.contains(3), "new epoch forgets old marks");
+        v.begin(20);
+        v.insert(19);
+        assert!(v.contains(19));
+    }
+}

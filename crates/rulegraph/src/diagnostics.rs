@@ -135,10 +135,7 @@ impl RuleGraph {
             let arrives_via_fabric = self.vertex_ids().any(|u| {
                 u != v
                     && self.vertex(u).next_switch == Some(vert.switch)
-                    && self
-                        .vertex(u)
-                        .match_field
-                        .overlaps(&vert.match_field)
+                    && self.vertex(u).match_field.overlaps(&vert.match_field)
             });
             if arrives_via_fabric {
                 findings.push(Finding::MidNetworkOnly { vertex: v });
@@ -222,9 +219,16 @@ mod tests {
     #[test]
     fn clean_policy_has_no_findings() {
         let mut net = two_switches();
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
-        net.install(SwitchId(0), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p)))
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
             .unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p)),
+        )
+        .unwrap();
         net.install(
             SwitchId(1),
             TableId(0),
@@ -239,9 +243,16 @@ mod tests {
     #[test]
     fn shadowed_rule_reported() {
         let mut net = two_switches();
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
+            .unwrap();
         let dead = net
-            .install(SwitchId(0), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p)))
+            .install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new(t("00xxxxxx"), Action::Output(p)),
+            )
             .unwrap();
         net.install(
             SwitchId(0),
@@ -264,9 +275,16 @@ mod tests {
     #[test]
     fn black_hole_detected_and_quantified() {
         let mut net = two_switches();
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
-        net.install(SwitchId(0), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p)))
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
             .unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p)),
+        )
+        .unwrap();
         // Switch 1 only handles half the forwarded space.
         net.install(
             SwitchId(1),
@@ -285,9 +303,16 @@ mod tests {
     #[test]
     fn intentional_drop_is_not_a_black_hole() {
         let mut net = two_switches();
-        let p = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
-        net.install(SwitchId(0), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p)))
+        let p = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
             .unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p)),
+        )
+        .unwrap();
         net.install(
             SwitchId(1),
             TableId(0),
@@ -321,10 +346,20 @@ mod tests {
         topo.add_link(SwitchId(0), SwitchId(1));
         topo.add_link(SwitchId(1), SwitchId(2));
         let mut net = Network::new(topo);
-        let p01 = net.topology().port_towards(SwitchId(0), SwitchId(1)).unwrap();
-        let p12 = net.topology().port_towards(SwitchId(1), SwitchId(2)).unwrap();
-        net.install(SwitchId(0), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p01)))
+        let p01 = net
+            .topology()
+            .port_towards(SwitchId(0), SwitchId(1))
             .unwrap();
+        let p12 = net
+            .topology()
+            .port_towards(SwitchId(1), SwitchId(2))
+            .unwrap();
+        net.install(
+            SwitchId(0),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p01)),
+        )
+        .unwrap();
         // Switch 1: diversion of the 000 sub-space to a host port, rest
         // onward.
         net.install(
@@ -333,8 +368,12 @@ mod tests {
             FlowEntry::new(t("000xxxxx"), Action::Output(PortId(40))).with_priority(9),
         )
         .unwrap();
-        net.install(SwitchId(1), TableId(0), FlowEntry::new(t("00xxxxxx"), Action::Output(p12)))
-            .unwrap();
+        net.install(
+            SwitchId(1),
+            TableId(0),
+            FlowEntry::new(t("00xxxxxx"), Action::Output(p12)),
+        )
+        .unwrap();
         // Switch 2: a rule for the diverted 000 sub-space (stranded) and
         // one for the rest.
         let stranded = net

@@ -29,7 +29,11 @@ impl fmt::Display for RuleGraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::PolicyLoop { cycle } => {
-                write!(f, "routing policy contains a loop through {} entries", cycle.len())
+                write!(
+                    f,
+                    "routing policy contains a loop through {} entries",
+                    cycle.len()
+                )
             }
             Self::NoForwardingRules => write!(f, "network has no forwarding flow entries"),
             Self::UnknownEntry(e) => write!(f, "entry {e} is not represented in the rule graph"),
@@ -52,7 +56,11 @@ mod tests {
             cycle: vec![EntryId(1), EntryId(2)],
         };
         assert!(e.to_string().contains("loop"));
-        assert!(RuleGraphError::NoForwardingRules.to_string().contains("no forwarding"));
-        assert!(RuleGraphError::UnknownEntry(EntryId(3)).to_string().contains("e3"));
+        assert!(RuleGraphError::NoForwardingRules
+            .to_string()
+            .contains("no forwarding"));
+        assert!(RuleGraphError::UnknownEntry(EntryId(3))
+            .to_string()
+            .contains("e3"));
     }
 }

@@ -1,0 +1,662 @@
+//! Memoized cover-path expansion.
+//!
+//! The matcher in Algorithm 1 probes `expand_cover_path` as a throwaway
+//! legality predicate on every candidate augmentation, and successive
+//! probes overwhelmingly share cover-path structure: a chain grows one
+//! closure edge at a time (an *extension* probe), or an augmenting path
+//! splices a new head onto an already-validated chain (a *splice*
+//! probe). [`ExpansionCache`] remembers, per exact cover path, either
+//! that no legal expansion exists (`Dead`), the first-in-DFS-order
+//! expansion together with its fully chained header set (`Alive`), or
+//! some valid expansion that answers liveness only (`Witness`).
+//!
+//! Liveness of a composite path factorizes at any cover vertex: a
+//! cached real path through the prefix ends in a chained set `S`, a
+//! cached real path through the rest imposes a backward entry
+//! requirement `E` at the same point (set-field rewrites act per term,
+//! so `E` is exact), and the spliced real path is legal **iff
+//! `S ∩ E ≠ ∅`**. Probes reduce to memoized set algebra instead of a
+//! depth-first search:
+//!
+//! - extension `[c0..ck]`: continue the prefix entry's real path across
+//!   the final segment — one `chain` call when the closure edge is a
+//!   direct step edge, a single-segment search otherwise;
+//! - splice `[c0, c1, ..]`: overlap the head segment's chained set with
+//!   the suffix entry's memoized tail requirement (the suffix is
+//!   resolved recursively, usually an exact hit).
+//!
+//! A failed composition is *not* a proof of death (other expansions of
+//! either side may compose), so negative probes fall back to the
+//! exhaustive DFS; cheap proofs of death (a Dead prefix, suffix, or
+//! constituent pair — sound by prefix-locality and monotonicity of
+//! chaining) short-circuit first.
+//!
+//! # Bit-identity
+//!
+//! Probe booleans are exact (constructive witnesses, exhaustive
+//! negatives), so the matcher's decisions are identical to the uncached
+//! build. The expansion handed out for the final plan must *also* be
+//! bit-identical — the chosen real path decides probe headers — and
+//! `Witness` entries are existence proofs only, not necessarily the
+//! first-in-DFS-order expansion. They never seed resumed searches, and
+//! [`RuleGraph::expand_cover_path_cached`] re-derives the canonical
+//! expansion before handing a path out. Canonical `Alive` prefixes may
+//! seed a resumed DFS: the full-path DFS reaches prefix states in
+//! first-expansion order, so a successful resume equals the uncached
+//! first success, and a failed resume falls back to the full DFS.
+//!
+//! The rule graph is acyclic (construction and incremental updates both
+//! reject loops), which the overlap composition leans on: the two real
+//! segments joined at a cover vertex can never share another vertex (a
+//! shared vertex would close a cycle through the joint), so composites
+//! stay simple paths, the simple-path constraint never binds across
+//! segments, and a single-segment search needs no visit marks for the
+//! prefix it continues.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+use sdnprobe_headerspace::HeaderSet;
+
+use crate::bitset::VisitSet;
+use crate::graph::RuleGraph;
+use crate::vertex::VertexId;
+
+/// FNV-1a folding one word at a time — cover-path keys are short
+/// `usize` slices, where this beats the default SipHash severalfold.
+/// The hasher is fixed and deterministic; map iteration order is never
+/// observable (the cache only gets and inserts).
+#[derive(Debug, Default, Clone)]
+struct KeyHashBuilder;
+
+#[derive(Debug)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+impl BuildHasher for KeyHashBuilder {
+    type Hasher = KeyHasher;
+
+    fn build_hasher(&self) -> KeyHasher {
+        KeyHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// Cached outcome for one exact cover path.
+#[derive(Debug, Clone)]
+enum CacheEntry {
+    /// No legal simple expansion exists. Always derived from an
+    /// exhaustive search or a sound proof of death, so liveness answers
+    /// are exact.
+    Dead,
+    /// The *first-in-DFS-order* expansion and its end-of-path chained
+    /// set. Only these may seed resumed searches or be returned as the
+    /// expansion itself.
+    Alive {
+        real: Vec<VertexId>,
+        end_set: HeaderSet,
+        /// Lazily memoized backward requirement of `real[1..]` at
+        /// `real[0]`'s output — see [`CacheEntry::Witness`].
+        tail_entry: Option<HeaderSet>,
+        /// Lazily memoized entry header space of `real` (what
+        /// [`RuleGraph::expand_cover_path`] returns alongside the path),
+        /// so handing out a memoized expansion skips the backward
+        /// projection.
+        entry_set: Option<HeaderSet>,
+    },
+    /// Some valid expansion (from overlap composition), answering
+    /// liveness probes only. `end_set` lazily memoizes the chained set
+    /// at the end of `real` (for use as a prefix in extension probes);
+    /// `tail_entry` lazily memoizes the backward requirement of
+    /// `real[1..]` at `real[0]`'s output (for use as a suffix in splice
+    /// probes).
+    Witness {
+        real: Vec<VertexId>,
+        end_set: Option<HeaderSet>,
+        tail_entry: Option<HeaderSet>,
+    },
+}
+
+/// First-completion snapshots collected during one traced DFS run: the
+/// state at the *first* entry of each segment boundary `b` (prefix
+/// `cover[..b]` fully expanded) is exactly the first-in-DFS-order
+/// expansion of that prefix, so every snapshot is a sound `Alive` memo
+/// for its prefix — even when the overall run later fails (the full DFS
+/// reaches every boundary for the first time inside the
+/// first-completion subtree of the previous one).
+#[derive(Debug, Default)]
+pub(crate) struct PrefixTrace {
+    /// `snaps[b - 2]` covers boundary `b`; only proper prefixes of
+    /// length ≥ 2 are recorded (the full path is keyed separately).
+    snaps: Vec<Option<(Vec<VertexId>, HeaderSet)>>,
+}
+
+impl PrefixTrace {
+    fn new(cover_len: usize) -> Self {
+        Self {
+            snaps: vec![None; cover_len.saturating_sub(2)],
+        }
+    }
+
+    /// Snapshot the state on the first entry at boundary `seg`.
+    pub(crate) fn record(&mut self, seg: usize, real: &[VertexId], set: &HeaderSet) {
+        if seg < 2 {
+            return;
+        }
+        if let Some(slot @ None) = self.snaps.get_mut(seg - 2) {
+            *slot = Some((real.to_vec(), set.clone()));
+        }
+    }
+}
+
+/// Prefix-keyed memo for [`RuleGraph::expand_cover_path_cached`] and
+/// [`RuleGraph::is_cover_path_expandable`].
+///
+/// Every entry is a pure function of the graph, so one cache may be
+/// reused across any number of generation runs over the same graph —
+/// answers (and the expansions handed out) are identical whether the
+/// cache is fresh, warm, or shared between the deterministic and
+/// randomized generators. It is tied to one graph *state*: entries are
+/// dropped automatically when the graph's
+/// [`generation`](RuleGraph::generation) moves (edge rebuilds,
+/// incremental updates).
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionCache {
+    generation: u64,
+    map: HashMap<Box<[usize]>, CacheEntry, KeyHashBuilder>,
+    visited: VisitSet,
+    hits: u64,
+    misses: u64,
+}
+
+impl ExpansionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized cover paths.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Probes answered from memory (exact, extension, or splice hits).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that ran a full uncached DFS.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Invalidates the cache if the graph has mutated since last use.
+    fn sync(&mut self, graph: &RuleGraph) {
+        if self.generation != graph.generation() {
+            self.map.clear();
+            self.generation = graph.generation();
+        }
+    }
+
+    /// Folds one traced DFS run into the memo: every snapshot is an
+    /// `Alive` entry for its prefix. When `dead_unreached` is set (an
+    /// exhausted from-scratch run), boundaries the DFS never entered
+    /// have provably no expansion and become `Dead` entries.
+    fn absorb(&mut self, key: &[usize], trace: PrefixTrace, dead_unreached: bool) {
+        for (i, snap) in trace.snaps.into_iter().enumerate() {
+            let prefix = &key[..i + 2];
+            match snap {
+                Some((real, end_set)) => {
+                    if !self.map.contains_key(prefix) {
+                        self.map.insert(
+                            prefix.into(),
+                            CacheEntry::Alive {
+                                real,
+                                end_set,
+                                tail_entry: None,
+                                entry_set: None,
+                            },
+                        );
+                    }
+                }
+                None => {
+                    if dead_unreached && !self.map.contains_key(prefix) {
+                        self.map.insert(prefix.into(), CacheEntry::Dead);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RuleGraph {
+    /// Cached [`expand_cover_path`](Self::expand_cover_path): identical
+    /// results (the same real path and entry header space), with repeated
+    /// probes over shared cover-path structure answered from memoized
+    /// state.
+    pub fn expand_cover_path_cached(
+        &self,
+        cover: &[VertexId],
+        cache: &mut ExpansionCache,
+    ) -> Option<(Vec<VertexId>, HeaderSet)> {
+        if !self.probe(cover, cache) {
+            return None;
+        }
+        let key: Box<[usize]> = cover.iter().map(|v| v.0).collect();
+        match cache.map.get_mut(&key) {
+            Some(CacheEntry::Alive {
+                real, entry_set, ..
+            }) => {
+                let real = real.clone();
+                if entry_set.is_none() {
+                    *entry_set = Some(self.path_entry_space(&real));
+                }
+                let hs = entry_set.clone().expect("just filled");
+                debug_assert!(!hs.is_empty());
+                Some((real, hs))
+            }
+            Some(CacheEntry::Witness { .. }) => {
+                // The entry is a liveness witness, not necessarily the
+                // first-in-DFS-order expansion — re-derive the canonical
+                // one so the returned path is bit-identical to the
+                // uncached DFS.
+                let mut visited = std::mem::take(&mut cache.visited);
+                visited.begin(self.vertices.len());
+                visited.insert(cover[0].0);
+                let mut real = vec![cover[0]];
+                let start = self.vertex(cover[0]).output.clone();
+                let mut trace = PrefixTrace::new(cover.len());
+                let end_set = self
+                    .expand_rec(cover, 1, start, &mut real, &mut visited, Some(&mut trace))
+                    .expect("probe proved an expansion exists");
+                cache.visited = visited;
+                cache.absorb(&key, trace, false);
+                let hs = self.path_entry_space(&real);
+                debug_assert!(!hs.is_empty());
+                cache.map.insert(
+                    key,
+                    CacheEntry::Alive {
+                        real: real.clone(),
+                        end_set,
+                        tail_entry: None,
+                        entry_set: Some(hs.clone()),
+                    },
+                );
+                Some((real, hs))
+            }
+            _ => unreachable!("probe recorded a live entry for this cover path"),
+        }
+    }
+
+    /// True iff [`expand_cover_path`](Self::expand_cover_path) would
+    /// succeed — the matcher's legality predicate — without deriving the
+    /// canonical expansion. Overwhelmingly answered by memoized set
+    /// algebra instead of a search.
+    pub fn is_cover_path_expandable(&self, cover: &[VertexId], cache: &mut ExpansionCache) -> bool {
+        // A two-vertex cover path is expandable exactly when the legal
+        // closure edge exists — that is the closure's defining predicate
+        // — so the matcher's most common probe is a single bit test.
+        if cover.len() == 2 {
+            return self.has_closure_edge(cover[0], cover[1]);
+        }
+        self.probe(cover, cache)
+    }
+
+    /// Read-only cache lookup: the memoized expansion for `cover`, if
+    /// the cache holds a current-generation canonical entry.
+    /// Bit-identical to [`expand_cover_path`](Self::expand_cover_path)
+    /// when it hits; never runs the DFS. Safe to call from parallel
+    /// read-only stages.
+    pub fn peek_expansion(
+        &self,
+        cover: &[VertexId],
+        cache: &ExpansionCache,
+    ) -> Option<(Vec<VertexId>, HeaderSet)> {
+        if cache.generation != self.generation() {
+            return None;
+        }
+        let key: Vec<usize> = cover.iter().map(|v| v.0).collect();
+        match cache.map.get(key.as_slice()) {
+            Some(CacheEntry::Alive {
+                real, entry_set, ..
+            }) => {
+                let real = real.clone();
+                let hs = match entry_set {
+                    Some(hs) => hs.clone(),
+                    None => self.path_entry_space(&real),
+                };
+                debug_assert!(!hs.is_empty());
+                Some((real, hs))
+            }
+            _ => None,
+        }
+    }
+
+    /// The chained header set at the end of a real path, starting from
+    /// the full output space of its head.
+    fn chain_along(&self, real: &[VertexId]) -> HeaderSet {
+        let mut set = self.vertex(real[0]).output.clone();
+        for &v in &real[1..] {
+            set = self.chain(&set, v);
+        }
+        set
+    }
+
+    /// Chains `set` across the direct step-1 edge `from → to`, if that
+    /// edge exists. A non-empty result proves the single-hop real
+    /// segment `[from, to]` legal under `set` — the cheapest possible
+    /// witness for one cover segment; an empty (or absent) result
+    /// proves nothing, since a multi-hop segment may still chain.
+    fn direct_chain(&self, from: VertexId, to: VertexId, set: &HeaderSet) -> Option<HeaderSet> {
+        if self.step1[from.0].contains(&to) {
+            Some(self.chain(set, to))
+        } else {
+            None
+        }
+    }
+
+    /// Ensures `cache` holds an entry for `cover`; returns its liveness.
+    fn probe(&self, cover: &[VertexId], cache: &mut ExpansionCache) -> bool {
+        if cover.is_empty() {
+            return false;
+        }
+        cache.sync(self);
+        let key: Box<[usize]> = cover.iter().map(|v| v.0).collect();
+        if let Some(entry) = cache.map.get(&key) {
+            cache.hits += 1;
+            return !matches!(entry, CacheEntry::Dead);
+        }
+        if cover.len() > 2 {
+            // Extension probe: the one-vertex-short prefix is the chain
+            // the matcher just grew. A Dead prefix settles the path
+            // (prefix-locality); a live one seeds a single-segment
+            // search from its memoized end state — Alive prefixes yield
+            // the canonical expansion, Witness prefixes a composite
+            // witness.
+            match cache.map.get(&key[..cover.len() - 1]) {
+                None => {}
+                Some(CacheEntry::Dead) => {
+                    cache.hits += 1;
+                    cache.map.insert(key, CacheEntry::Dead);
+                    return false;
+                }
+                Some(CacheEntry::Alive { real, end_set, .. }) => {
+                    let mut real = real.clone();
+                    let set = end_set.clone();
+                    if let Some(end_set) = self.extend_segment(cover, &mut real, set, cache) {
+                        cache.hits += 1;
+                        cache.map.insert(
+                            key,
+                            CacheEntry::Alive {
+                                real,
+                                end_set,
+                                tail_entry: None,
+                                entry_set: None,
+                            },
+                        );
+                        return true;
+                    }
+                    // The uncached DFS would now backtrack into a
+                    // different prefix expansion; only the full DFS
+                    // reproduces that exactly.
+                    return self.probe_scratch(cover, key, cache);
+                }
+                Some(CacheEntry::Witness { .. }) => {
+                    let (mut real, set) = match cache.map.get_mut(&key[..cover.len() - 1]) {
+                        Some(CacheEntry::Witness { real, end_set, .. }) => {
+                            if end_set.is_none() {
+                                // A witness real path is legal, so its
+                                // chained set is non-empty.
+                                *end_set = Some(self.chain_along(real));
+                            }
+                            (real.clone(), end_set.clone().expect("just filled"))
+                        }
+                        _ => unreachable!("just matched a Witness prefix"),
+                    };
+                    // Single-hop shortcut: the result need not be the
+                    // first-in-DFS-order segment, so any legal
+                    // continuation will do.
+                    let last = cover[cover.len() - 1];
+                    if let Some(chained) = self.direct_chain(cover[cover.len() - 2], last, &set) {
+                        if !chained.is_empty() {
+                            real.push(last);
+                            cache.hits += 1;
+                            cache.map.insert(
+                                key,
+                                CacheEntry::Witness {
+                                    real,
+                                    end_set: Some(chained),
+                                    tail_entry: None,
+                                },
+                            );
+                            return true;
+                        }
+                    }
+                    if let Some(end_set) = self.extend_segment(cover, &mut real, set, cache) {
+                        cache.hits += 1;
+                        cache.map.insert(
+                            key,
+                            CacheEntry::Witness {
+                                real,
+                                end_set: Some(end_set),
+                                tail_entry: None,
+                            },
+                        );
+                        return true;
+                    }
+                    // Not a proof of death: a different expansion of the
+                    // prefix might extend. The full DFS decides.
+                    return self.probe_scratch(cover, key, cache);
+                }
+            }
+            // Splice probe: no prefix entry, but the suffix is usually
+            // the chain that was just spliced onto — resolve it (and the
+            // head segment) recursively and compose by overlap. A Dead
+            // suffix or head pair settles the path (the restriction of
+            // any legal expansion to those cover vertices would expand
+            // them; chaining is monotone).
+            return self.probe_splice_witness(cover, key, cache);
+        }
+        // Pairs die by a bit test — the closure's defining predicate —
+        // but live pairs still run the (small) search: their canonical
+        // end-set is a much stronger splice donor than a single-hop
+        // witness would be.
+        if cover.len() == 2 && !self.has_closure_edge(cover[0], cover[1]) {
+            cache.hits += 1;
+            cache.map.insert(key, CacheEntry::Dead);
+            return false;
+        }
+        self.probe_scratch(cover, key, cache)
+    }
+
+    /// Expands only the final cover segment of `cover`, continuing
+    /// `real` (a memoized expansion of the one-short prefix) from its
+    /// chained set. The graph is a DAG, so the new segment can never
+    /// step onto a prefix vertex — every prefix vertex reaches the
+    /// segment's start, and such an edge would close a cycle — and only
+    /// the segment's own exploration needs visit marking.
+    fn extend_segment(
+        &self,
+        cover: &[VertexId],
+        real: &mut Vec<VertexId>,
+        set: HeaderSet,
+        cache: &mut ExpansionCache,
+    ) -> Option<HeaderSet> {
+        let mut visited = std::mem::take(&mut cache.visited);
+        visited.begin(self.vertices.len());
+        let r = self.expand_rec(cover, cover.len() - 1, set, real, &mut visited, None);
+        cache.visited = visited;
+        r
+    }
+
+    /// Splice probe: compose the head segment's chained set with the
+    /// suffix entry's memoized tail requirement by overlap. Falls back
+    /// to the exhaustive DFS when the composition fails.
+    fn probe_splice_witness(
+        &self,
+        cover: &[VertexId],
+        key: Box<[usize]>,
+        cache: &mut ExpansionCache,
+    ) -> bool {
+        if !cache.map.contains_key(&key[1..]) {
+            self.probe(&cover[1..], cache);
+        }
+        match cache.map.get_mut(&key[1..]) {
+            Some(CacheEntry::Dead) => {
+                cache.hits += 1;
+                cache.map.insert(key, CacheEntry::Dead);
+                return false;
+            }
+            Some(CacheEntry::Alive {
+                real, tail_entry, ..
+            })
+            | Some(CacheEntry::Witness {
+                real, tail_entry, ..
+            }) => {
+                if tail_entry.is_none() {
+                    // Backward requirement of the donor's tail at
+                    // `real[0]`'s output: a set chains through
+                    // `real[1..]` to a non-empty end iff it meets this
+                    // projection.
+                    *tail_entry = Some(self.path_entry_space(&real[1..]));
+                }
+            }
+            None => unreachable!("suffix probe always records an entry"),
+        }
+        // Single-hop shortcut for the head segment: chaining the head's
+        // output across a direct step edge proves the composite with
+        // one set operation, no pair expansion.
+        if let Some(chained) = self.direct_chain(cover[0], cover[1], &self.vertex(cover[0]).output)
+        {
+            if !chained.is_empty() {
+                let (tail, req) = match cache.map.get(&key[1..]) {
+                    Some(CacheEntry::Alive {
+                        real, tail_entry, ..
+                    })
+                    | Some(CacheEntry::Witness {
+                        real, tail_entry, ..
+                    }) => (real, tail_entry.as_ref().expect("filled above")),
+                    _ => unreachable!("checked above"),
+                };
+                if chained.intersects(req) {
+                    let mut real = Vec::with_capacity(tail.len() + 1);
+                    real.push(cover[0]);
+                    real.extend_from_slice(tail);
+                    cache.hits += 1;
+                    cache.map.insert(
+                        key,
+                        CacheEntry::Witness {
+                            real,
+                            end_set: None,
+                            tail_entry: None,
+                        },
+                    );
+                    return true;
+                }
+            }
+        }
+        // General head segment: the pair's canonical expansion (cached
+        // across splice attempts sharing the head).
+        if !cache.map.contains_key(&key[..2]) {
+            self.probe(&cover[..2], cache);
+        }
+        let (head, head_set) = match cache.map.get(&key[..2]) {
+            Some(CacheEntry::Dead) => {
+                cache.hits += 1;
+                cache.map.insert(key, CacheEntry::Dead);
+                return false;
+            }
+            Some(CacheEntry::Alive { real, end_set, .. }) => (real, end_set),
+            _ => unreachable!("pair probe always records Dead or Alive"),
+        };
+        let (tail, req) = match cache.map.get(&key[1..]) {
+            Some(CacheEntry::Alive {
+                real, tail_entry, ..
+            })
+            | Some(CacheEntry::Witness {
+                real, tail_entry, ..
+            }) => (real, tail_entry.as_ref().expect("filled above")),
+            _ => unreachable!("checked above"),
+        };
+        if !head_set.intersects(req) {
+            return self.probe_scratch(cover, key, cache);
+        }
+        let mut real = Vec::with_capacity(head.len() + tail.len() - 1);
+        real.extend_from_slice(head);
+        real.extend_from_slice(&tail[1..]);
+        cache.hits += 1;
+        cache.map.insert(
+            key,
+            CacheEntry::Witness {
+                real,
+                end_set: None,
+                tail_entry: None,
+            },
+        );
+        true
+    }
+
+    /// Exhaustive from-scratch DFS — the exact fallback — recording the
+    /// outcome and every first-completion prefix snapshot.
+    fn probe_scratch(
+        &self,
+        cover: &[VertexId],
+        key: Box<[usize]>,
+        cache: &mut ExpansionCache,
+    ) -> bool {
+        cache.misses += 1;
+        let mut visited = std::mem::take(&mut cache.visited);
+        visited.begin(self.vertices.len());
+        visited.insert(cover[0].0);
+        let mut real = vec![cover[0]];
+        let start = self.vertex(cover[0]).output.clone();
+        let mut trace = PrefixTrace::new(cover.len());
+        let result = self.expand_rec(cover, 1, start, &mut real, &mut visited, Some(&mut trace));
+        cache.visited = visited;
+        // A failed from-scratch run was exhaustive: any boundary it
+        // never entered has no expansion at all.
+        cache.absorb(&key, trace, result.is_none());
+        match result {
+            Some(end_set) => {
+                cache.map.insert(
+                    key,
+                    CacheEntry::Alive {
+                        real,
+                        end_set,
+                        tail_entry: None,
+                        entry_set: None,
+                    },
+                );
+                true
+            }
+            None => {
+                cache.map.insert(key, CacheEntry::Dead);
+                false
+            }
+        }
+    }
+}

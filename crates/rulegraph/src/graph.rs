@@ -12,14 +12,16 @@
 //! A routing loop (cycle in the step-1 graph) is rejected at
 //! construction, per the paper's loop-free-policy assumption.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use sdnprobe_classifier::TernaryTrie;
 use sdnprobe_dataplane::{Action, EntryId, Network, TableId};
 use sdnprobe_headerspace::{HeaderSet, Ternary};
 use sdnprobe_topology::SwitchId;
 
+use crate::bitset::{BitMatrix, VisitSet};
 use crate::error::RuleGraphError;
+use crate::expansion::PrefixTrace;
 use crate::vertex::{RuleVertex, VertexId};
 
 /// Legal-path statistics for the paper's Table II.
@@ -66,7 +68,7 @@ pub struct LegalPathStats {
 /// assert_eq!(graph.step1_edge_count(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RuleGraph {
     pub(crate) header_len: u32,
     pub(crate) vertices: Vec<Option<RuleVertex>>,
@@ -93,7 +95,46 @@ pub struct RuleGraph {
     pub(crate) step1_rev: Vec<Vec<VertexId>>,
     /// Legal-closure successors per vertex (includes step-1 successors).
     pub(crate) closure: Vec<Vec<VertexId>>,
-    pub(crate) closure_set: HashSet<(usize, usize)>,
+    /// The same closure as a word-packed bit matrix: row `u`, column `v`
+    /// set iff a legal path `u → … → v` exists. Edge membership — the
+    /// expansion DFS's hottest query — is a shift-and-mask, and the
+    /// incremental path tests whole rows against an affected mask one
+    /// word (64 vertices) at a time.
+    pub(crate) closure_bits: BitMatrix,
+    /// Bumped on every mutation (edge rebuilds, incremental updates) so
+    /// an [`ExpansionCache`](crate::ExpansionCache) can detect staleness.
+    /// Seeded from a process-wide counter at construction, so a cache
+    /// warmed on one graph never validates against a different instance
+    /// that happens to have seen the same number of mutations.
+    pub(crate) generation: u64,
+}
+
+/// Process-wide source of per-instance generation bases (see
+/// [`RuleGraph::generation`]). The value is only ever compared for
+/// equality against a cache's remembered generation, so the allocation
+/// order between graphs cannot influence any result.
+static GRAPH_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Clone for RuleGraph {
+    /// Clones take a fresh instance base for their generation counter:
+    /// the clone and the original may be mutated independently, so a
+    /// cache warmed on one must never validate against the other.
+    fn clone(&self) -> Self {
+        Self {
+            header_len: self.header_len,
+            vertices: self.vertices.clone(),
+            by_entry: self.by_entry.clone(),
+            by_location: self.by_location.clone(),
+            by_next_switch: self.by_next_switch.clone(),
+            in_tries: self.in_tries.clone(),
+            out_tries: self.out_tries.clone(),
+            step1: self.step1.clone(),
+            step1_rev: self.step1_rev.clone(),
+            closure: self.closure.clone(),
+            closure_bits: self.closure_bits.clone(),
+            generation: GRAPH_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed) << 32,
+        }
+    }
 }
 
 impl RuleGraph {
@@ -176,7 +217,10 @@ impl RuleGraph {
             step1: vec![Vec::new(); n],
             step1_rev: vec![Vec::new(); n],
             closure: vec![Vec::new(); n],
-            closure_set: HashSet::new(),
+            closure_bits: BitMatrix::new(n),
+            // Low 32 bits count this instance's mutations; the high bits
+            // make the counter unique across instances.
+            generation: GRAPH_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed) << 32,
         };
         for i in 0..n {
             graph.index_vertex(VertexId(i));
@@ -285,18 +329,27 @@ impl RuleGraph {
 
     /// True if the legal transitive closure contains edge `(u, v)`.
     pub fn has_closure_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.closure_set.contains(&(u.0, v.0))
+        self.closure_bits.contains(u.0, v.0)
     }
 
     /// Number of closure edges.
     pub fn closure_edge_count(&self) -> usize {
-        self.closure_set.len()
+        self.closure.iter().map(Vec::len).sum()
+    }
+
+    /// Mutation counter: incremented whenever vertices, edges, or the
+    /// legal closure change, so expansion caches keyed on graph state
+    /// can detect staleness cheaply.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The paper's `O_{i+1} = T(O_i ∩ r.in, r.s)` chain step.
     pub fn chain(&self, set: &HeaderSet, v: VertexId) -> HeaderSet {
         let vert = self.vertex(v);
-        set.intersect(&vert.input).apply_set_field(&vert.set_field)
+        let mut out = set.intersect(&vert.input);
+        out.apply_set_field_in_place(&vert.set_field);
+        out
     }
 
     /// Header space of packets that can traverse an entire *real* path
@@ -323,8 +376,16 @@ impl RuleGraph {
                 return HeaderSet::empty(self.header_len);
             }
         }
-        // Backward pass to project the surviving constraint to the
-        // path's entry headers.
+        self.path_entry_space(path)
+    }
+
+    /// Backward projection of a path's constraints to its entry headers.
+    ///
+    /// Equals [`path_header_space`](Self::path_header_space) whenever the
+    /// path is already known to be legal (the forward pass only gates the
+    /// empty case), which lets the expansion DFS — whose chained sets
+    /// were non-empty at every step — skip re-running the forward chain.
+    pub(crate) fn path_entry_space(&self, path: &[VertexId]) -> HeaderSet {
         let mut required = HeaderSet::full(self.header_len);
         for &v in path.iter().rev() {
             let vert = self.vertex(v);
@@ -351,33 +412,46 @@ impl RuleGraph {
         if cover.is_empty() {
             return None;
         }
+        let mut visited = VisitSet::default();
+        visited.begin(self.vertices.len());
+        visited.insert(cover[0].0);
         let mut real = vec![cover[0]];
         let start = self.vertex(cover[0]).output.clone();
-        let final_set = self.expand_rec(cover, 1, start, &mut real)?;
-        let _ = final_set;
-        let hs = self.path_header_space(&real);
+        self.expand_rec(cover, 1, start, &mut real, &mut visited, None)?;
+        // The DFS already chained a non-empty set through every step, so
+        // the forward legality pass is settled; only the backward
+        // projection to entry headers remains.
+        let hs = self.path_entry_space(&real);
         debug_assert!(!hs.is_empty());
         Some((real, hs))
     }
 
-    fn expand_rec(
+    pub(crate) fn expand_rec(
         &self,
         cover: &[VertexId],
         seg: usize,
         set: HeaderSet,
         real: &mut Vec<VertexId>,
+        visited: &mut VisitSet,
+        mut trace: Option<&mut PrefixTrace>,
     ) -> Option<HeaderSet> {
+        // First entry at each segment boundary is the first-in-DFS-order
+        // expansion of that cover prefix — snapshot it for the memo.
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(seg, real, &set);
+        }
         if seg == cover.len() {
             return Some(set);
         }
         let target = cover[seg];
         let from = *real.last().expect("real path is non-empty");
-        self.dfs_expand(cover, seg, from, target, set, real)
+        self.dfs_expand(cover, seg, from, target, set, real, visited, trace)
     }
 
     /// DFS from `from` toward `target` over step-1 edges, chaining `set`;
     /// on reaching the target, recurse into the next cover segment and
-    /// backtrack on failure.
+    /// backtrack on failure. `visited` mirrors `real`'s membership.
+    #[allow(clippy::too_many_arguments)]
     fn dfs_expand(
         &self,
         cover: &[VertexId],
@@ -386,14 +460,16 @@ impl RuleGraph {
         target: VertexId,
         set: HeaderSet,
         real: &mut Vec<VertexId>,
+        visited: &mut VisitSet,
+        mut trace: Option<&mut PrefixTrace>,
     ) -> Option<HeaderSet> {
         for &next in &self.step1[from.0] {
             // Prune: `next` must be the target or reach it legally.
-            if next != target && !self.closure_set.contains(&(next.0, target.0)) {
+            if next != target && !self.closure_bits.contains(next.0, target.0) {
                 continue;
             }
             // Prune revisits within this real path (keeps paths simple).
-            if real.contains(&next) {
+            if visited.contains(next.0) {
                 continue;
             }
             let chained = self.chain(&set, next);
@@ -401,15 +477,26 @@ impl RuleGraph {
                 continue;
             }
             real.push(next);
+            visited.insert(next.0);
             let result = if next == target {
-                self.expand_rec(cover, seg + 1, chained, real)
+                self.expand_rec(cover, seg + 1, chained, real, visited, trace.as_deref_mut())
             } else {
-                self.dfs_expand(cover, seg, next, target, chained, real)
+                self.dfs_expand(
+                    cover,
+                    seg,
+                    next,
+                    target,
+                    chained,
+                    real,
+                    visited,
+                    trace.as_deref_mut(),
+                )
             };
             if result.is_some() {
                 return result;
             }
             real.pop();
+            visited.remove(next.0);
         }
         None
     }
@@ -422,6 +509,7 @@ impl RuleGraph {
     /// the trie only bounds the candidates, and every candidate still
     /// passes the exact `out ∩ in ≠ ∅` header-space check.
     pub fn rebuild_all_edges(&mut self) {
+        self.generation += 1;
         let n = self.vertices.len();
         self.step1 = vec![Vec::new(); n];
         self.step1_rev = vec![Vec::new(); n];
@@ -440,6 +528,7 @@ impl RuleGraph {
     ///
     /// [`rebuild_all_edges`]: Self::rebuild_all_edges
     pub fn rebuild_all_edges_linear(&mut self) {
+        self.generation += 1;
         let n = self.vertices.len();
         self.step1 = vec![Vec::new(); n];
         self.step1_rev = vec![Vec::new(); n];
@@ -619,15 +708,45 @@ impl RuleGraph {
         dag
     }
 
+    /// Step-1 reachability as a bit matrix: bit `(u, v)` set iff a
+    /// (not necessarily legal) step-1 path `u → … → v` exists.
+    ///
+    /// Computed by a single reverse-topological sweep that ORs whole
+    /// successor rows together — `O(E · n / 64)` words, no per-vertex
+    /// BFS. Legality does not compose across edges, so this is a strict
+    /// superset of the legal closure; the incremental update path uses
+    /// it to find every ancestor of a changed region in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step-1 graph has a cycle (callers run
+    /// `check_acyclic` first).
+    pub fn step1_reachability(&self) -> BitMatrix {
+        let n = self.vertices.len();
+        let mut m = BitMatrix::new(n);
+        let order = self
+            .to_dag()
+            .topological_order()
+            .expect("step-1 graph is a DAG");
+        for &u in order.iter().rev() {
+            for &v in &self.step1[u] {
+                m.set(u, v.0);
+                m.or_row(u, v.0);
+            }
+        }
+        m
+    }
+
     /// Recomputes the legal closure for every vertex. Sources are
     /// independent, so the per-source BFS fans out across threads — rule
     /// graph construction dominates SDNProbe's pre-computation time
     /// (Table II's PCT column), and the paper's largest setting carries
     /// 358k rules.
     pub(crate) fn rebuild_full_closure(&mut self) {
+        self.generation += 1;
         let n = self.vertices.len();
         self.closure = vec![Vec::new(); n];
-        self.closure_set = HashSet::new();
+        self.closure_bits = BitMatrix::new(n);
         let ids: Vec<VertexId> = self.vertex_ids().collect();
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -671,11 +790,9 @@ impl RuleGraph {
     }
 
     fn install_closure(&mut self, u: VertexId, succs: Vec<VertexId>) {
-        for v in std::mem::take(&mut self.closure[u.0]) {
-            self.closure_set.remove(&(u.0, v.0));
-        }
+        self.closure_bits.clear_row(u.0);
         for &v in &succs {
-            self.closure_set.insert((u.0, v.0));
+            self.closure_bits.set(u.0, v.0);
         }
         self.closure[u.0] = succs;
     }
@@ -859,15 +976,27 @@ pub(crate) fn resolve_input(
 ) -> HeaderSet {
     let ft = net.flow_table(switch, table).expect("table exists");
     let entry = ft.get(entry_id).expect("entry exists");
+    let overlapping: Vec<Ternary> = ft
+        .iter()
+        .filter(|(qid, q)| {
+            let higher = q.priority() > entry.priority()
+                || (q.priority() == entry.priority() && *qid < entry_id);
+            higher && q.match_field().overlaps(&entry.match_field())
+        })
+        .map(|(_, q)| q.match_field())
+        .collect();
     let mut input = HeaderSet::from(entry.match_field());
-    for (qid, q) in ft.iter() {
-        let higher =
-            q.priority() > entry.priority() || (q.priority() == entry.priority() && qid < entry_id);
-        if higher && q.match_field().overlaps(&entry.match_field()) {
-            input = input.subtract_ternary(&q.match_field());
-            if input.is_empty() {
-                break;
-            }
+    // Fully shadowed rules are common under priority churn; deciding
+    // emptiness by coverage skips materializing every complement piece
+    // of the subtraction chain (and `∅ = ∅` keeps the result
+    // bit-identical to the materialized path).
+    if input.is_covered_by(&overlapping) {
+        return HeaderSet::empty(entry.match_field().len());
+    }
+    for q in &overlapping {
+        input.subtract_ternary_in_place(q);
+        if input.is_empty() {
+            break;
         }
     }
     input

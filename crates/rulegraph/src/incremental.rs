@@ -56,6 +56,7 @@ impl RuleGraph {
         net: &Network,
         update: &RuleUpdate,
     ) -> Result<(), RuleGraphError> {
+        self.generation += 1;
         let affected = match update {
             RuleUpdate::Added { entry } => self.apply_added(net, *entry),
             RuleUpdate::Removed {
@@ -71,27 +72,19 @@ impl RuleGraph {
         }
         self.check_acyclic()?;
         // Closure: recompute every source whose reachable region touches
-        // the change — in the old graph (its closure listed an affected
-        // vertex) or the new one (reverse-reachable from an affected
-        // vertex).
-        let affected_set: HashSet<usize> = affected.iter().map(|v| v.0).collect();
-        let mut sources: HashSet<usize> = affected_set.clone();
+        // the change — in the old graph (its closure row intersects the
+        // affected mask) or the new one (its step-1 reachability row
+        // does). Both tests are word-wise row scans against one shared
+        // mask; the reachability matrix itself comes from a single
+        // reverse-topological word-OR sweep.
+        let reach = self.step1_reachability();
+        let affected_mask = reach.make_row_mask(affected.iter().map(|v| v.0));
+        let mut sources: HashSet<usize> = affected.iter().map(|v| v.0).collect();
         for u in self.vertex_ids() {
-            if self.closure[u.0]
-                .iter()
-                .any(|v| affected_set.contains(&v.0))
+            if self.closure_bits.row_intersects(u.0, &affected_mask)
+                || reach.row_intersects(u.0, &affected_mask)
             {
                 sources.insert(u.0);
-            }
-        }
-        let mut stack: Vec<usize> = affected_set.iter().copied().collect();
-        let mut seen = affected_set;
-        while let Some(v) = stack.pop() {
-            for p in &self.step1_rev[v] {
-                if seen.insert(p.0) {
-                    sources.insert(p.0);
-                    stack.push(p.0);
-                }
             }
         }
         let mut ordered: Vec<usize> = sources.into_iter().collect();
@@ -101,9 +94,8 @@ impl RuleGraph {
                 self.rebuild_closure_from(VertexId(u));
             } else {
                 // Dead vertex: drop any stale closure records.
-                for v in std::mem::take(&mut self.closure[u]) {
-                    self.closure_set.remove(&(u, v.0));
-                }
+                self.closure[u].clear();
+                self.closure_bits.clear_row(u);
             }
         }
         Ok(())
@@ -141,6 +133,7 @@ impl RuleGraph {
             self.step1.push(Vec::new());
             self.step1_rev.push(Vec::new());
             self.closure.push(Vec::new());
+            self.closure_bits.grow(self.vertices.len());
             self.index_vertex(id);
         }
         // Any change to a switch's tables can reshape effective inputs
@@ -169,9 +162,8 @@ impl RuleGraph {
                     affected.push(p);
                 }
             }
-            for v in std::mem::take(&mut self.closure[dead.0]) {
-                self.closure_set.remove(&(dead.0, v.0));
-            }
+            self.closure[dead.0].clear();
+            self.closure_bits.clear_row(dead.0);
             if let Some(list) = self.by_location.get_mut(&(location.switch, location.table)) {
                 list.retain(|&x| x != dead);
             }

@@ -34,14 +34,18 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod bitset;
 mod diagnostics;
 mod error;
+mod expansion;
 mod graph;
 mod incremental;
 mod vertex;
 
+pub use bitset::BitMatrix;
 pub use diagnostics::{Diagnostics, Finding};
 pub use error::RuleGraphError;
+pub use expansion::ExpansionCache;
 pub use graph::{LegalPathStats, RuleGraph};
 pub use incremental::RuleUpdate;
 pub use vertex::{RuleVertex, VertexId};

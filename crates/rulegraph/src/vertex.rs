@@ -2,10 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use sdnprobe_dataplane::{EntryId, TableId};
 use sdnprobe_headerspace::{HeaderSet, Ternary};
 use sdnprobe_topology::{PortId, SwitchId};
+use serde::{Deserialize, Serialize};
 
 /// Identifier of a vertex within a [`crate::RuleGraph`] (dense index;
 /// stable across incremental updates — removed vertices leave tombstones).

@@ -1,0 +1,264 @@
+//! Differential tests for the legality-engine fast path: the word-packed
+//! closure bit-matrix must agree with set-based reference semantics, and
+//! the memoized cover-path expansion must be bit-identical to the
+//! uncached DFS — including after incremental graph mutations.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdnprobe_dataplane::{Action, EntryId, FlowEntry, Network, TableId};
+use sdnprobe_headerspace::{HeaderSet, Ternary};
+use sdnprobe_rulegraph::{ExpansionCache, RuleGraph, RuleUpdate, VertexId};
+use sdnprobe_topology::{PortId, SwitchId, Topology};
+
+/// Random loop-free network over an 8-bit header space.
+fn random_network(seed: u64, switches: usize, rules: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new(switches);
+    for i in 1..switches {
+        topo.add_link(SwitchId(rng.gen_range(0..i)), SwitchId(i));
+    }
+    let mut net = Network::new(topo);
+    for _ in 0..rules {
+        let s = SwitchId(rng.gen_range(0..switches));
+        let _ = net.install(s, TableId(0), random_entry(&mut rng, &net, s));
+    }
+    net
+}
+
+/// Random prefix-match entry forwarding in switch-id order (acyclic).
+fn random_entry(rng: &mut StdRng, net: &Network, s: SwitchId) -> FlowEntry {
+    let m = Ternary::prefix(rng.gen::<u8>() as u128, rng.gen_range(0..=5), 8);
+    let forward: Vec<PortId> = net
+        .topology()
+        .neighbors(s)
+        .iter()
+        .filter(|n| n.peer.0 > s.0)
+        .map(|n| n.port)
+        .collect();
+    let action = if forward.is_empty() || rng.gen_bool(0.35) {
+        Action::Output(PortId(40))
+    } else {
+        Action::Output(forward[rng.gen_range(0..forward.len())])
+    };
+    let mut e = FlowEntry::new(m, action).with_priority(rng.gen_range(0..4));
+    if rng.gen_bool(0.2) {
+        e = e.with_set_field(Ternary::prefix(
+            rng.gen::<u8>() as u128,
+            rng.gen_range(0..3),
+            8,
+        ));
+    }
+    e
+}
+
+/// Reference legal closure as a plain edge set, recomputed from public
+/// chaining primitives (the representation the bit-matrix replaced).
+fn reference_closure_set(graph: &RuleGraph) -> HashSet<(usize, usize)> {
+    let mut edges = HashSet::new();
+    for u in graph.vertex_ids() {
+        fn rec(
+            graph: &RuleGraph,
+            src: VertexId,
+            cur: VertexId,
+            set: &HeaderSet,
+            edges: &mut HashSet<(usize, usize)>,
+        ) {
+            for &next in graph.successors(cur) {
+                let chained = graph.chain(set, next);
+                if chained.is_empty() {
+                    continue;
+                }
+                edges.insert((src.0, next.0));
+                rec(graph, src, next, &chained, edges);
+            }
+        }
+        let start = graph.vertex(u).output.clone();
+        if !start.is_empty() {
+            rec(graph, u, u, &start, &mut edges);
+        }
+    }
+    edges
+}
+
+/// A spread of cover-path candidates: closure-edge pairs and chained
+/// triples, plus their reverses (guaranteed-dead probes).
+fn cover_path_candidates(graph: &RuleGraph) -> Vec<Vec<VertexId>> {
+    let mut paths = Vec::new();
+    for u in graph.vertex_ids() {
+        for &v in graph.closure_successors(u) {
+            paths.push(vec![u, v]);
+            paths.push(vec![v, u]);
+            for &w in graph.closure_successors(v) {
+                paths.push(vec![u, v, w]);
+                for &x in graph.closure_successors(w) {
+                    paths.push(vec![u, v, w, x]);
+                }
+            }
+        }
+    }
+    paths.truncate(64);
+    paths
+}
+
+/// Asserts one probe agrees between the cached and uncached engines.
+fn assert_probe_identical(
+    graph: &RuleGraph,
+    cache: &mut ExpansionCache,
+    cover: &[VertexId],
+    seed: u64,
+) {
+    let expect = graph.expand_cover_path(cover);
+    let alive = graph.is_cover_path_expandable(cover, cache);
+    assert_eq!(
+        alive,
+        expect.is_some(),
+        "expandability mismatch on {cover:?} (seed {seed})"
+    );
+    let got = graph.expand_cover_path_cached(cover, cache);
+    assert_eq!(got, expect, "expansion mismatch on {cover:?} (seed {seed})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The word-packed closure bit-matrix answers exactly the edge set
+    /// the old `HashSet<(usize, usize)>` held, on random DAGs.
+    #[test]
+    fn bitset_closure_matches_hashset_reference(seed in 0u64..3_000) {
+        let net = random_network(seed, 5, 12);
+        let Ok(graph) = RuleGraph::from_network(&net) else {
+            return Ok(());
+        };
+        let reference = reference_closure_set(&graph);
+        for u in graph.vertex_ids() {
+            for v in graph.vertex_ids() {
+                prop_assert_eq!(
+                    graph.has_closure_edge(u, v),
+                    reference.contains(&(u.0, v.0)),
+                    "bitset closure wrong at ({}, {}) (seed {})", u, v, seed
+                );
+            }
+            // Adjacency lists and bit rows must describe the same graph.
+            let from_lists: HashSet<usize> =
+                graph.closure_successors(u).iter().map(|v| v.0).collect();
+            let from_bits: HashSet<usize> = graph
+                .vertex_ids()
+                .filter(|&v| graph.has_closure_edge(u, v))
+                .map(|v| v.0)
+                .collect();
+            prop_assert_eq!(from_lists, from_bits, "row {} diverged (seed {})", u, seed);
+        }
+    }
+
+    /// Step-1 reachability (the word-OR sweep) equals DFS reachability
+    /// over step-1 edges and contains every legal-closure edge.
+    #[test]
+    fn step1_reachability_matches_dfs_and_bounds_closure(seed in 0u64..2_000) {
+        let net = random_network(seed, 5, 12);
+        let Ok(graph) = RuleGraph::from_network(&net) else {
+            return Ok(());
+        };
+        let reach = graph.step1_reachability();
+        for u in graph.vertex_ids() {
+            let mut expect = HashSet::new();
+            let mut stack = vec![u];
+            while let Some(cur) = stack.pop() {
+                for &next in graph.successors(cur) {
+                    if expect.insert(next.0) {
+                        stack.push(next);
+                    }
+                }
+            }
+            for v in graph.vertex_ids() {
+                prop_assert_eq!(
+                    reach.contains(u.0, v.0),
+                    expect.contains(&v.0),
+                    "step-1 reachability wrong at ({}, {}) (seed {})", u, v, seed
+                );
+                if graph.has_closure_edge(u, v) {
+                    prop_assert!(
+                        reach.contains(u.0, v.0),
+                        "closure edge ({}, {}) missing from reachability (seed {})", u, v, seed
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cached expansion is bit-identical to the uncached DFS: same real
+    /// paths, same entry header spaces, same liveness — across probe
+    /// orders that exercise exact hits, prefix resumes, and dead-prefix
+    /// short circuits.
+    #[test]
+    fn cached_expansion_matches_uncached(seed in 0u64..1_500) {
+        let net = random_network(seed, 5, 12);
+        let Ok(graph) = RuleGraph::from_network(&net) else {
+            return Ok(());
+        };
+        let paths = cover_path_candidates(&graph);
+        let mut cache = ExpansionCache::new();
+        // Prefixes first (seeds resumable states), then full paths.
+        for path in &paths {
+            for plen in 2..=path.len() {
+                assert_probe_identical(&graph, &mut cache, &path[..plen], seed);
+            }
+        }
+        // Second pass: everything answers from the memo, identically.
+        for path in &paths {
+            assert_probe_identical(&graph, &mut cache, path, seed);
+        }
+        prop_assert!(cache.hits() > 0 || paths.is_empty());
+        // A fresh cache probed in full-path-first order (prefix lookups
+        // miss) must also agree.
+        let mut cold = ExpansionCache::new();
+        for path in &paths {
+            assert_probe_identical(&graph, &mut cold, path, seed);
+            for plen in 2..path.len() {
+                assert_probe_identical(&graph, &mut cold, &path[..plen], seed);
+            }
+        }
+    }
+
+    /// A cache held across incremental graph mutations self-invalidates
+    /// (via the generation counter) and keeps agreeing with the uncached
+    /// DFS after every update.
+    #[test]
+    fn cache_agrees_after_incremental_mutations(seed in 0u64..600) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+        let mut net = random_network(seed, 5, 10);
+        let Ok(mut graph) = RuleGraph::from_network(&net) else {
+            return Ok(());
+        };
+        let mut installed: Vec<EntryId> = graph
+            .vertex_ids()
+            .map(|v| graph.vertex(v).entry)
+            .collect();
+        let mut cache = ExpansionCache::new();
+        for _ in 0..6 {
+            // Mutate: remove an existing rule or install a fresh one.
+            if installed.len() > 2 && rng.gen_bool(0.4) {
+                let id = installed.swap_remove(rng.gen_range(0..installed.len()));
+                let location = net.location(id).unwrap();
+                let old = net.remove(id).unwrap();
+                let update = RuleUpdate::Removed { entry: id, old, location };
+                if graph.apply_update(&net, &update).is_err() {
+                    return Ok(());
+                }
+            } else {
+                let s = SwitchId(rng.gen_range(0..5));
+                let e = random_entry(&mut rng, &net, s);
+                let id = net.install(s, TableId(0), e).unwrap();
+                installed.push(id);
+                if graph.apply_update(&net, &RuleUpdate::Added { entry: id }).is_err() {
+                    return Ok(());
+                }
+            }
+            for path in cover_path_candidates(&graph).iter().take(24) {
+                assert_probe_identical(&graph, &mut cache, path, seed);
+            }
+        }
+    }
+}
