@@ -1,7 +1,7 @@
 //! Command implementations behind the `sdnprobe` binary.
 
 use sdnprobe::{accuracy, Monitor, Parallelism, ProbeConfig, RandomizedSdnProbe, SdnProbe};
-use sdnprobe_dataplane::{Action, Network};
+use sdnprobe_dataplane::{Action, Impairments, Network};
 use sdnprobe_rulegraph::{Finding, RuleGraph};
 use sdnprobe_topology::generate::rocketfuel_like;
 use sdnprobe_workloads::{synthesize, synthesize_campus, CampusSpec, WorkloadSpec};
@@ -110,6 +110,38 @@ fn config_with_threads(threads: Option<usize>) -> ProbeConfig {
     }
 }
 
+/// Error-prone-environment knobs shared by `detect` and `monitor`:
+/// `--loss-rate`, `--ctrl-loss-rate`, `--flowmod-failure-rate`,
+/// `--chaos-seed`, and `--confirm-retries`. The default is the
+/// unimpaired, loss-naive behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChaosOpts {
+    /// Per-link benign packet loss probability.
+    pub loss_rate: f64,
+    /// Controller-channel (packet-in) loss probability.
+    pub ctrl_loss_rate: f64,
+    /// Transient flow-mod failure probability.
+    pub flowmod_failure_rate: f64,
+    /// Seed of the deterministic chaos stream.
+    pub chaos_seed: u64,
+    /// Confirmation re-sends before a failed probe raises suspicion.
+    pub confirm_retries: u32,
+}
+
+impl ChaosOpts {
+    /// Installs the impairments on the network and the confirmation
+    /// policy in the probing configuration.
+    fn apply(&self, net: &mut Network, config: &mut ProbeConfig) {
+        net.set_impairments(
+            Impairments::new(self.chaos_seed)
+                .with_loss_rate(self.loss_rate)
+                .with_ctrl_loss_rate(self.ctrl_loss_rate)
+                .with_flowmod_failure_rate(self.flowmod_failure_rate),
+        );
+        config.confirm_retries = self.confirm_retries;
+    }
+}
+
 /// `plan`: probe-plan summary lines for a scenario.
 ///
 /// # Errors
@@ -211,9 +243,11 @@ pub fn detect(
     rounds: usize,
     seed: u64,
     threads: Option<usize>,
+    chaos: ChaosOpts,
 ) -> Result<Vec<String>, SpecError> {
     let (mut net, _) = spec.build()?;
-    let config = config_with_threads(threads);
+    let mut config = config_with_threads(threads);
+    chaos.apply(&mut net, &mut config);
     let report = if randomized {
         RandomizedSdnProbe::with_config(config, seed)
             .detect(&mut net, rounds)
@@ -238,6 +272,13 @@ pub fn detect(
             report.generation_ns as f64 / 1e9
         ),
     ];
+    if !report.degraded.is_empty() || report.teardown_failures > 0 {
+        out.push(format!(
+            "degraded coverage: {} rule(s), unrestored teardown ops: {}",
+            report.degraded.len(),
+            report.teardown_failures
+        ));
+    }
     if !spec.faults.is_empty() {
         out.push(format!(
             "vs declared faults: FPR {:.3}, FNR {:.3}",
@@ -259,9 +300,12 @@ pub fn monitor(
     rounds: u64,
     seed: u64,
     threads: Option<usize>,
+    chaos: ChaosOpts,
 ) -> Result<Vec<String>, SpecError> {
     let (mut net, _) = spec.build()?;
-    let mut mon = Monitor::with_config(&net, seed, config_with_threads(threads))
+    let mut config = config_with_threads(threads);
+    chaos.apply(&mut net, &mut config);
+    let mut mon = Monitor::with_config(&net, seed, config)
         .map_err(|e| SpecError::Invalid(e.to_string()))?;
     let mut out = Vec::new();
     for _ in 0..rounds {
@@ -364,7 +408,24 @@ mod tests {
         let mut spec = synth(8, 14, 12, 0, 5);
         spec.faults
             .push(crate::spec::FaultSpecDef::Drop { rule: 0 });
-        let lines = detect(&spec, false, 1, 7, None).unwrap();
+        let lines = detect(&spec, false, 1, 7, None, ChaosOpts::default()).unwrap();
+        assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
+    }
+
+    #[test]
+    fn detect_with_chaos_confirms_away_benign_loss() {
+        let mut spec = synth(8, 14, 12, 0, 5);
+        spec.faults
+            .push(crate::spec::FaultSpecDef::Drop { rule: 0 });
+        let chaos = ChaosOpts {
+            loss_rate: 0.1,
+            ctrl_loss_rate: 0.1,
+            chaos_seed: 42,
+            confirm_retries: 2,
+            ..ChaosOpts::default()
+        };
+        let lines = detect(&spec, false, 1, 7, None, chaos).unwrap();
+        assert!(lines.iter().any(|l| l.contains("FPR 0.000")), "{lines:?}");
         assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
     }
 
@@ -404,7 +465,7 @@ mod tests {
     fn synth_with_faults_is_detectable() {
         let spec = synth(10, 18, 15, 2, 11);
         assert_eq!(spec.faults.len(), 2);
-        let lines = detect(&spec, false, 1, 7, Some(2)).unwrap();
+        let lines = detect(&spec, false, 1, 7, Some(2), ChaosOpts::default()).unwrap();
         assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
     }
 
@@ -413,7 +474,7 @@ mod tests {
         let mut spec = synth(10, 18, 15, 0, 13);
         spec.faults
             .push(crate::spec::FaultSpecDef::Drop { rule: 3 });
-        let lines = monitor(&spec, 20, 5, None).unwrap();
+        let lines = monitor(&spec, 20, 5, None, ChaosOpts::default()).unwrap();
         assert!(lines.iter().any(|l| l.contains("FNR 0.000")), "{lines:?}");
     }
 

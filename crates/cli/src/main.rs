@@ -18,6 +18,14 @@
 //! stages (path expansion, witness solving, probe sends). The default is
 //! every available core; `--threads 1` forces the sequential path.
 //! Results are identical at any setting.
+//!
+//! `detect` and `monitor` also accept the error-prone-environment
+//! flags: `--loss-rate P` (benign per-link packet loss),
+//! `--ctrl-loss-rate P` (packet-in loss), `--flowmod-failure-rate P`
+//! (transient flow-mod failures), `--chaos-seed N` (deterministic
+//! impairment stream), and `--confirm-retries N` (re-sends that
+//! distinguish benign loss from real faults before raising suspicion).
+//! The same chaos seed replays the same losses at any `--threads`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,7 +39,7 @@ use spec::ScenarioSpec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdnprobe synth [--switches N] [--links N] [--flows N] [--faults N] [--seed N] [--campus] -o FILE\n  sdnprobe plan FILE [--verbose] [--threads N]\n  sdnprobe diagnose FILE\n  sdnprobe detect FILE [--randomized] [--rounds N] [--seed N] [--threads N]\n  sdnprobe trace FILE --at SWITCH --header BITS\n  sdnprobe monitor FILE [--rounds N] [--seed N] [--threads N]"
+        "usage:\n  sdnprobe synth [--switches N] [--links N] [--flows N] [--faults N] [--seed N] [--campus] -o FILE\n  sdnprobe plan FILE [--verbose] [--threads N]\n  sdnprobe diagnose FILE\n  sdnprobe detect FILE [--randomized] [--rounds N] [--seed N] [--threads N] [chaos flags]\n  sdnprobe trace FILE --at SWITCH --header BITS\n  sdnprobe monitor FILE [--rounds N] [--seed N] [--threads N] [chaos flags]\n\nchaos flags (error-prone environment):\n  --loss-rate P --ctrl-loss-rate P --flowmod-failure-rate P\n  --chaos-seed N --confirm-retries N"
     );
     ExitCode::from(2)
 }
@@ -43,6 +51,16 @@ fn flag(args: &[String], name: &str) -> bool {
 fn value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     let pos = args.iter().position(|a| a == name)?;
     args.get(pos + 1)?.parse().ok()
+}
+
+fn chaos_opts(args: &[String]) -> commands::ChaosOpts {
+    commands::ChaosOpts {
+        loss_rate: value(args, "--loss-rate").unwrap_or(0.0),
+        ctrl_loss_rate: value(args, "--ctrl-loss-rate").unwrap_or(0.0),
+        flowmod_failure_rate: value(args, "--flowmod-failure-rate").unwrap_or(0.0),
+        chaos_seed: value(args, "--chaos-seed").unwrap_or(0),
+        confirm_retries: value(args, "--confirm-retries").unwrap_or(0),
+    }
 }
 
 fn load(path: &str) -> Result<ScenarioSpec, String> {
@@ -95,6 +113,7 @@ fn main() -> ExitCode {
                     value(&args, "--rounds").unwrap_or(20),
                     value(&args, "--seed").unwrap_or(7),
                     value(&args, "--threads"),
+                    chaos_opts(&args),
                 )
                 .map_err(|e| e.to_string())
             }),
@@ -116,6 +135,7 @@ fn main() -> ExitCode {
                     value(&args, "--rounds").unwrap_or(10),
                     value(&args, "--seed").unwrap_or(7),
                     value(&args, "--threads"),
+                    chaos_opts(&args),
                 )
                 .map_err(|e| e.to_string())
             }),

@@ -19,7 +19,7 @@ use crate::generation::{
 };
 use crate::localize::{DetectionReport, FaultLocalizer, ProbeConfig};
 use crate::plan::TestPlan;
-use crate::probe::ProbeHarness;
+use crate::probe::{ProbeHarness, TeardownError};
 use crate::traffic::TrafficProfile;
 
 /// Errors from a full detection run.
@@ -28,8 +28,18 @@ use crate::traffic::TrafficProfile;
 pub enum DetectError {
     /// Rule-graph construction failed (e.g. the policy loops).
     Graph(RuleGraphError),
-    /// Instrumenting or probing the network failed.
+    /// Instrumenting or probing the network failed permanently.
     Network(NetworkError),
+    /// Restoring the network's instrumentation failed even after
+    /// retries; the harness keeps tracking the leftovers.
+    Teardown(TeardownError),
+    /// An internal invariant was violated (a bug, not an environment
+    /// failure); the run tore its instrumentation down before
+    /// surfacing this.
+    Internal {
+        /// What went wrong.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -37,6 +47,8 @@ impl fmt::Display for DetectError {
         match self {
             Self::Graph(e) => write!(f, "rule graph construction failed: {e}"),
             Self::Network(e) => write!(f, "network operation failed: {e}"),
+            Self::Teardown(e) => write!(f, "network restoration failed: {e}"),
+            Self::Internal { context } => write!(f, "internal invariant violated: {context}"),
         }
     }
 }
@@ -46,6 +58,8 @@ impl Error for DetectError {
         match self {
             Self::Graph(e) => Some(e),
             Self::Network(e) => Some(e),
+            Self::Teardown(e) => Some(e),
+            Self::Internal { .. } => None,
         }
     }
 }
@@ -59,6 +73,12 @@ impl From<RuleGraphError> for DetectError {
 impl From<NetworkError> for DetectError {
     fn from(e: NetworkError) -> Self {
         Self::Network(e)
+    }
+}
+
+impl From<TeardownError> for DetectError {
+    fn from(e: TeardownError) -> Self {
+        Self::Teardown(e)
     }
 }
 
@@ -106,19 +126,33 @@ impl SdnProbe {
     /// up. The report's `generation_ns` holds the measured wall-clock
     /// pre-computation time.
     ///
+    /// Robust against the error-prone environment: transient flow-mod
+    /// failures are retried per the config's policy; probes whose
+    /// instrumentation still cannot be installed are quarantined into
+    /// [`DetectionReport::degraded`]; teardown is best-effort, with
+    /// unrestored items counted in
+    /// [`DetectionReport::teardown_failures`] rather than failing the
+    /// run.
+    ///
     /// # Errors
     ///
-    /// Returns [`DetectError`] if planning or instrumentation fails.
+    /// Returns [`DetectError`] if planning fails or instrumentation
+    /// fails permanently.
     pub fn detect(&self, net: &mut Network) -> Result<DetectionReport, DetectError> {
         let started = Instant::now();
         let (graph, plan) = self.plan(net)?;
         let generation_ns = started.elapsed().as_nanos() as u64;
-        let mut harness = ProbeHarness::new();
-        let probes = harness.install_plan(net, &graph, &plan)?;
+        let mut harness = ProbeHarness::new().with_retry_policy(self.config.retry_policy());
+        let (probes, degraded) = harness.install_plan_tolerant(net, &graph, &plan)?;
         let mut localizer = FaultLocalizer::new(self.config);
         let mut report = localizer.run(net, &graph, &mut harness, probes)?;
+        report.degraded.extend(degraded);
+        report.degraded.sort_unstable();
+        report.degraded.dedup();
         report.generation_ns = generation_ns;
-        harness.teardown(net)?;
+        if let Err(t) = harness.teardown(net) {
+            report.teardown_failures += t.failures.len();
+        }
         Ok(report)
     }
 }
@@ -251,13 +285,18 @@ impl RandomizedSession {
             None => generate_randomized_with(&self.graph, &mut self.rng, parallelism),
         };
         let generation_ns = started.elapsed().as_nanos() as u64;
-        let mut harness = ProbeHarness::new();
-        let probes = harness.install_plan(net, &self.graph, &plan)?;
+        let mut harness = ProbeHarness::new().with_retry_policy(self.config.retry_policy());
+        let (probes, degraded) = harness.install_plan_tolerant(net, &self.graph, &plan)?;
         // Each step runs localization to quiescence on this round's
         // paths; restart_when_idle is handled by calling step again.
         let mut report = self.localizer.run(net, &self.graph, &mut harness, probes)?;
+        report.degraded.extend(degraded);
+        report.degraded.sort_unstable();
+        report.degraded.dedup();
         report.generation_ns = generation_ns;
-        harness.teardown(net)?;
+        if let Err(t) = harness.teardown(net) {
+            report.teardown_failures += t.failures.len();
+        }
         Ok(report)
     }
 }

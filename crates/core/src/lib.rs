@@ -60,7 +60,7 @@ pub use generation::{
 pub use localize::{accuracy, Accuracy, DetectionReport, FaultLocalizer, ProbeConfig};
 pub use monitor::{Monitor, MonitorEvent};
 pub use plan::{PlannedProbe, TestPlan};
-pub use probe::{ActiveProbe, ProbeHarness};
+pub use probe::{ActiveProbe, ProbeHarness, RetryPolicy, TeardownError};
 pub use sdnprobe_parallel::Parallelism;
 pub use sdnprobe_rulegraph::ExpansionCache;
 pub use traffic::TrafficProfile;

@@ -13,12 +13,13 @@
 
 use std::collections::HashMap;
 
-use sdnprobe_dataplane::{EntryId, Network, NetworkError};
+use sdnprobe_dataplane::{EntryId, Network};
 use sdnprobe_parallel::Parallelism;
 use sdnprobe_rulegraph::RuleGraph;
 use sdnprobe_topology::SwitchId;
 
-use crate::probe::{ActiveProbe, ProbeHarness};
+use crate::app::DetectError;
+use crate::probe::{ActiveProbe, ProbeHarness, RetryPolicy};
 
 /// Tunable parameters of a detection run.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +44,29 @@ pub struct ProbeConfig {
     /// cores; results are identical at any setting — see `DESIGN.md`
     /// § Concurrency model.
     pub parallelism: Parallelism,
+    /// How many times a failed probe is re-sent for *confirmation*
+    /// before its path raises suspicion. Distinguishes benign packet
+    /// loss in the error-prone environment from real switch faults: a
+    /// benign loss almost never repeats across re-sends, while a
+    /// persistent fault fails every confirmation. `0` (the default)
+    /// reproduces the loss-naive behaviour exactly.
+    pub confirm_retries: u32,
+    /// Bounded retries for flow-mods that fail transiently
+    /// ([`sdnprobe_dataplane::NetworkError::ChannelDown`]).
+    pub flowmod_retries: u32,
+    /// Base virtual-time backoff between flow-mod retries (doubled per
+    /// attempt, capped).
+    pub flowmod_backoff_ns: u64,
+}
+
+impl ProbeConfig {
+    /// The flow-mod retry policy this configuration implies.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            attempts: self.flowmod_retries,
+            backoff_ns: self.flowmod_backoff_ns,
+        }
+    }
 }
 
 impl Default for ProbeConfig {
@@ -55,12 +79,15 @@ impl Default for ProbeConfig {
             max_rounds: 64,
             restart_when_idle: false,
             parallelism: Parallelism::auto(),
+            confirm_retries: 0,
+            flowmod_retries: 3,
+            flowmod_backoff_ns: 1_000_000, // 1 ms
         }
     }
 }
 
 /// Outcome of a detection run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DetectionReport {
     /// Switches declared faulty (suspicion above threshold on one of
     /// their rules under single-rule test).
@@ -84,6 +111,14 @@ pub struct DetectionReport {
     /// Wall-clock time spent generating test packets, filled by the
     /// caller (graph construction + MLPC + headers).
     pub generation_ns: u64,
+    /// Rules whose coverage was *degraded*: their probe's
+    /// instrumentation could not be (re-)installed even after retries,
+    /// so the run quarantined the probe instead of aborting. Sorted and
+    /// deduplicated. Empty on a healthy control channel.
+    pub degraded: Vec<EntryId>,
+    /// Teardown operations that failed even after retries (the harness
+    /// keeps tracking them; a later teardown retries exactly those).
+    pub teardown_failures: usize,
 }
 
 impl DetectionReport {
@@ -112,6 +147,10 @@ impl DetectionReport {
         self.bytes_sent += other.bytes_sent;
         self.elapsed_ns += other.elapsed_ns;
         self.generation_ns += other.generation_ns;
+        self.degraded.extend(other.degraded);
+        self.degraded.sort_unstable();
+        self.degraded.dedup();
+        self.teardown_failures += other.teardown_failures;
     }
 }
 
@@ -143,16 +182,29 @@ impl FaultLocalizer {
     /// drains (or `max_rounds`). Returns the per-run report; suspicion
     /// carries over into subsequent calls on the same localizer.
     ///
+    /// Failed probes are *confirmed* before raising suspicion: with
+    /// [`ProbeConfig::confirm_retries`] > 0, the probe is re-sent (at a
+    /// later virtual time, so benign deterministic loss re-draws) and
+    /// any successful confirmation clears it for the round. Sub-probe
+    /// installation retries transient flow-mod failures per the
+    /// configured policy; a probe whose slices still cannot be
+    /// installed is quarantined into [`DetectionReport::degraded`]
+    /// rather than aborting the run.
+    ///
     /// # Errors
     ///
-    /// Propagates [`NetworkError`]s from sub-probe installation.
+    /// Returns [`DetectError`] on *permanent* instrumentation failures
+    /// or internal invariant violations — after tearing the network's
+    /// instrumentation back down best-effort, never leaving test tables
+    /// or rewritten rules behind.
     pub fn run(
         &mut self,
         net: &mut Network,
         graph: &RuleGraph,
         harness: &mut ProbeHarness,
         initial: Vec<ActiveProbe>,
-    ) -> Result<DetectionReport, NetworkError> {
+    ) -> Result<DetectionReport, DetectError> {
+        harness.set_retry_policy(self.config.retry_policy());
         let mut report = DetectionReport::default();
         let full_set = initial.clone();
         let mut active = initial;
@@ -185,16 +237,39 @@ impl FaultLocalizer {
                 if ok {
                     continue;
                 }
+                if self.confirm_passes(net, harness, &probe, &mut report) {
+                    // A confirmation came back: the miss was benign
+                    // environmental loss, not the path. No suspicion.
+                    continue;
+                }
                 // Suspected path: raise suspicion on every on-path rule.
                 for &v in &probe.path {
                     *self.suspicion.entry(graph.vertex(v).entry).or_insert(0) += 1;
                 }
                 if probe.path.len() > 1 {
-                    let (left, right) = harness
-                        .slice(net, graph, &probe)?
-                        .expect("paths longer than one rule slice");
-                    next.push(left);
-                    next.push(right);
+                    match harness.slice(net, graph, &probe) {
+                        Ok(Some((left, right))) => {
+                            next.push(left);
+                            next.push(right);
+                        }
+                        Ok(None) => {
+                            let _ = harness.teardown(net);
+                            return Err(DetectError::Internal {
+                                context: "a multi-rule path failed to slice",
+                            });
+                        }
+                        Err(e) if e.is_transient() => {
+                            // Retries exhausted: quarantine the probe's
+                            // rules instead of aborting the whole run.
+                            report
+                                .degraded
+                                .extend(probe.path.iter().map(|&v| graph.vertex(v).entry));
+                        }
+                        Err(e) => {
+                            let _ = harness.teardown(net);
+                            return Err(e.into());
+                        }
+                    }
                 } else {
                     let entry = graph.vertex(probe.path[0]).entry;
                     if self.suspicion[&entry] > self.config.suspicion_threshold {
@@ -209,10 +284,37 @@ impl FaultLocalizer {
             }
             active = next;
         }
+        report.degraded.sort_unstable();
+        report.degraded.dedup();
         report.suspicion = self.suspicion.clone();
         report.faulty_rules = self.flagged_rules.clone();
         report.faulty_switches = self.faulty_switches(graph);
         Ok(report)
+    }
+
+    /// Re-sends a failed probe up to `confirm_retries` times; true if
+    /// any re-send passes (the original miss was benign loss). Each
+    /// attempt costs wire time, advancing the virtual clock — which is
+    /// exactly what re-draws the deterministic loss outcome.
+    fn confirm_passes(
+        &self,
+        net: &mut Network,
+        harness: &ProbeHarness,
+        probe: &ActiveProbe,
+        report: &mut DetectionReport,
+    ) -> bool {
+        for _ in 0..self.config.confirm_retries {
+            let send_ns = (self.config.probe_bytes as u128 * 1_000_000_000
+                / self.config.send_rate_bytes_per_sec as u128) as u64;
+            net.advance_ns(send_ns + self.config.round_trip_ns);
+            report.probes_sent += 1;
+            report.bytes_sent += self.config.probe_bytes;
+            report.elapsed_ns += send_ns + self.config.round_trip_ns;
+            if harness.send(net, probe) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Switches hosting at least one flagged rule.

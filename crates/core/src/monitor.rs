@@ -35,6 +35,10 @@ pub struct MonitorEvent {
     pub probes_sent: usize,
     /// Virtual nanoseconds this round consumed.
     pub elapsed_ns: u64,
+    /// Rules whose coverage was degraded this round (probe
+    /// instrumentation could not be installed even after retries) —
+    /// nonzero values tell the operator the round's verdict is partial.
+    pub degraded: usize,
 }
 
 impl MonitorEvent {
@@ -188,6 +192,7 @@ impl Monitor {
             flagged: self.flagged.clone(),
             probes_sent: report.probes_sent,
             elapsed_ns: report.elapsed_ns,
+            degraded: report.degraded.len(),
         })
     }
 

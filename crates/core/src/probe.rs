@@ -52,6 +52,76 @@ pub struct ActiveProbe {
     pub expected_header: Header,
 }
 
+/// Bounded retry-with-backoff for transient flow-mod failures
+/// ([`NetworkError::ChannelDown`]) in the error-prone environment.
+///
+/// `attempts` is the number of *re*-tries after the first failure; each
+/// retry advances the virtual clock by `backoff_ns << min(retry, 6)`
+/// (bounded exponential backoff), which re-draws the deterministic
+/// failure outcome. Permanent errors are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt.
+    pub attempts: u32,
+    /// Base backoff per retry in virtual nanoseconds.
+    pub backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff_ns: 1_000_000,
+        }
+    }
+}
+
+/// Failures collected by a best-effort [`ProbeHarness::teardown`].
+///
+/// Teardown never stops at the first error: it restores everything it
+/// can and reports what it could not. The harness keeps tracking the
+/// unrestored items, so calling `teardown` again retries exactly them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TeardownError {
+    /// Every error encountered, in the deterministic teardown order.
+    pub failures: Vec<NetworkError>,
+}
+
+impl std::fmt::Display for TeardownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "teardown left {} item(s) unrestored (first: {})",
+            self.failures.len(),
+            self.failures
+                .first()
+                .map_or_else(|| "none".to_string(), ToString::to_string)
+        )
+    }
+}
+
+impl std::error::Error for TeardownError {}
+
+/// Runs `op`, retrying transient failures per `retry`. Each retry
+/// advances the network's virtual clock (bounded exponential backoff),
+/// which re-draws the deterministic flow-mod outcome.
+fn with_retry<T>(
+    retry: RetryPolicy,
+    net: &mut Network,
+    mut op: impl FnMut(&mut Network) -> Result<T, NetworkError>,
+) -> Result<T, NetworkError> {
+    let mut attempt = 0u32;
+    loop {
+        match op(net) {
+            Err(e) if e.is_transient() && attempt < retry.attempts => {
+                net.advance_ns(retry.backoff_ns << attempt.min(6));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Manages test tables, rewritten terminal rules, and test entries.
 #[derive(Debug)]
 pub struct ProbeHarness {
@@ -62,16 +132,37 @@ pub struct ProbeHarness {
     rewritten: HashMap<EntryId, (FlowEntry, EntryId)>,
     /// Installed test entries: (switch, expected header) → entry id.
     test_entries: HashMap<(SwitchId, Header), EntryId>,
+    /// Retry policy for flow-mods under transient channel failures.
+    retry: RetryPolicy,
 }
 
 impl ProbeHarness {
-    /// Creates an empty harness.
+    /// Creates an empty harness with the default retry policy.
     pub fn new() -> Self {
         Self {
             test_tables: HashMap::new(),
             rewritten: HashMap::new(),
             test_entries: HashMap::new(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Builder-style [`ProbeHarness::set_retry_policy`].
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the retry policy applied to every flow-mod the harness
+    /// issues.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Installs every probe of a plan; returns the active probes.
@@ -89,6 +180,38 @@ impl ProbeHarness {
             .iter()
             .map(|p| self.install_probe(net, graph, &p.path, p.header))
             .collect()
+    }
+
+    /// Installs a plan tolerantly: probes whose instrumentation still
+    /// cannot be installed after retries are *quarantined* rather than
+    /// aborting the round. Returns the successfully installed probes
+    /// plus the sorted, deduplicated rule entries whose coverage was
+    /// degraded by the quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates only *permanent* [`NetworkError`]s (unknown entries,
+    /// backward gotos); transient channel failures degrade instead.
+    pub fn install_plan_tolerant(
+        &mut self,
+        net: &mut Network,
+        graph: &RuleGraph,
+        plan: &TestPlan,
+    ) -> Result<(Vec<ActiveProbe>, Vec<EntryId>), NetworkError> {
+        let mut probes = Vec::with_capacity(plan.probes.len());
+        let mut degraded = Vec::new();
+        for p in &plan.probes {
+            match self.install_probe(net, graph, &p.path, p.header) {
+                Ok(probe) => probes.push(probe),
+                Err(e) if e.is_transient() => {
+                    degraded.extend(p.path.iter().map(|&v| graph.vertex(v).entry));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        degraded.sort_unstable();
+        degraded.dedup();
+        Ok((probes, degraded))
     }
 
     /// Installs a single probe over `path`, entering with `header`.
@@ -124,6 +247,10 @@ impl ProbeHarness {
 
     /// Ensures the Fig. 7 plumbing exists for `terminal` and installs the
     /// exact-match test entry for `expected_header`.
+    ///
+    /// Flow-mods retry per the harness policy; on a partial failure
+    /// (copy installed but the rewrite keeps failing) the orphaned copy
+    /// is rolled back best-effort so the network is left untouched.
     fn ensure_return_entry(
         &mut self,
         net: &mut Network,
@@ -133,6 +260,7 @@ impl ProbeHarness {
     ) -> Result<(), NetworkError> {
         let vert = graph.vertex(terminal);
         let switch = vert.switch;
+        let retry = self.retry;
         let table = match self.test_tables.get(&switch) {
             Some(&t) => t,
             None => {
@@ -151,18 +279,25 @@ impl ProbeHarness {
                 .apply_set_field(&original.set_field());
             let copy =
                 FlowEntry::new(copied_match, original.action()).with_priority(original.priority());
-            let copy_id = net.install(switch, table, copy)?;
-            net.replace_entry(vert.entry, original.with_action(Action::GotoTable(table)))?;
+            let copy_id = with_retry(retry, net, |n| n.install(switch, table, copy))?;
+            if let Err(e) = with_retry(retry, net, |n| {
+                n.replace_entry(vert.entry, original.with_action(Action::GotoTable(table)))
+            }) {
+                let _ = with_retry(retry, net, |n| n.remove(copy_id));
+                return Err(e);
+            }
             self.rewritten.insert(vert.entry, (original, copy_id));
         }
-        // Step 2: the test entry, matched only by the probe.
+        // Step 2: the test entry, matched only by the probe. A failure
+        // here leaves the rewrite in place — harmless (normal packets
+        // still follow the copied rule) and reclaimed by teardown.
         if !self.test_entries.contains_key(&(switch, expected_header)) {
             let test = FlowEntry::new(
                 sdnprobe_headerspace::Ternary::from_header(expected_header),
                 Action::ToController,
             )
             .with_priority(u16::MAX);
-            let id = net.install(switch, table, test)?;
+            let id = with_retry(retry, net, |n| n.install(switch, table, test))?;
             self.test_entries.insert((switch, expected_header), id);
         }
         Ok(())
@@ -218,28 +353,74 @@ impl ProbeHarness {
         Ok(Some((left, right)))
     }
 
-    /// Restores every rewritten rule and removes all test entries and
-    /// copies. Duplicate tables remain (empty), which is harmless.
+    /// Restores every rewritten rule, removes all test entries and
+    /// copies, and pops the (then empty) duplicate tables, returning
+    /// the network to its exact pre-instrumentation shape.
+    ///
+    /// Teardown is *best-effort*: a failure on one item never blocks
+    /// the rest. Items are processed in a deterministic order (sorted
+    /// by id) so the same chaos seed replays the same outcomes at any
+    /// thread count, and whatever could not be restored stays tracked —
+    /// calling `teardown` again retries exactly the leftovers.
+    /// Entries already removed by the caller are skipped silently.
     ///
     /// # Errors
     ///
-    /// Propagates [`NetworkError`]s; entries already removed by the
-    /// caller are skipped silently.
-    pub fn teardown(&mut self, net: &mut Network) -> Result<(), NetworkError> {
-        for (entry, (original, copy)) in self.rewritten.drain() {
+    /// Returns the collected [`NetworkError`]s as a [`TeardownError`]
+    /// when anything remained unrestored.
+    pub fn teardown(&mut self, net: &mut Network) -> Result<(), TeardownError> {
+        let retry = self.retry;
+        let mut failures = Vec::new();
+
+        let mut rewritten: Vec<_> = self.rewritten.drain().collect();
+        rewritten.sort_unstable_by_key(|&(id, _)| id);
+        for (entry, (original, copy)) in rewritten {
+            let mut kept = false;
             if net.entry(entry).is_some() {
-                net.replace_entry(entry, original)?;
+                if let Err(e) = with_retry(retry, net, |n| n.replace_entry(entry, original)) {
+                    failures.push(e);
+                    kept = true;
+                }
             }
             if net.entry(copy).is_some() {
-                net.remove(copy)?;
+                if let Err(e) = with_retry(retry, net, |n| n.remove(copy).map(|_| ())) {
+                    failures.push(e);
+                    kept = true;
+                }
+            }
+            if kept {
+                self.rewritten.insert(entry, (original, copy));
             }
         }
-        for (_, id) in self.test_entries.drain() {
+
+        let mut tests: Vec<_> = self.test_entries.drain().collect();
+        tests.sort_unstable_by_key(|&((s, h), _)| (s, h.bits()));
+        for ((s, h), id) in tests {
             if net.entry(id).is_some() {
-                net.remove(id)?;
+                if let Err(e) = with_retry(retry, net, |n| n.remove(id).map(|_| ())) {
+                    failures.push(e);
+                    self.test_entries.insert((s, h), id);
+                }
             }
         }
-        Ok(())
+
+        // Pop duplicate tables now that they are empty. A table that is
+        // still occupied (removals above failed) or no longer last
+        // stays tracked for the next attempt; this is bookkeeping, not
+        // a flow-mod, so it carries no failure of its own.
+        let mut tables: Vec<_> = self.test_tables.iter().map(|(&s, &t)| (s, t)).collect();
+        tables.sort_unstable();
+        for (s, t) in tables {
+            if net.remove_table(s, t).is_ok() {
+                self.test_tables.remove(&s);
+            }
+        }
+
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(TeardownError { failures })
+        }
     }
 
     /// Number of test entries currently installed.
@@ -364,6 +545,12 @@ mod tests {
         assert!(net.entry_count() > count_before);
         harness.teardown(&mut net).unwrap();
         assert_eq!(net.entry_count(), count_before);
+        // Full restoration: the duplicate tables are gone too, not just
+        // emptied — every switch is back to its single pipeline table.
+        for s in net.topology().switches() {
+            assert_eq!(net.table_count(s).unwrap(), 1, "no leftover table on {s}");
+        }
+        assert_eq!(harness.test_entry_count(), 0);
         let after = net.inject(SwitchId(0), h);
         assert_eq!(after.outcome, before.outcome);
         // Even the probe's own header now flows like a normal packet.
@@ -443,6 +630,72 @@ mod tests {
         let (_, rr) = harness.slice(&mut net, &graph, &right).unwrap().unwrap();
         assert_eq!(rr.path.len(), 1);
         assert!(harness.slice(&mut net, &graph, &rr).unwrap().is_none());
+    }
+
+    #[test]
+    fn flowmod_retries_ride_out_transient_failures() {
+        use sdnprobe_dataplane::Impairments;
+        let (mut net, graph) = line3_with_rewrite();
+        net.set_impairments(Impairments::new(21).with_flowmod_failure_rate(0.4));
+        let plan = generate(&graph);
+        let mut harness = ProbeHarness::new().with_retry_policy(RetryPolicy {
+            attempts: 16,
+            backoff_ns: 1_000,
+        });
+        let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
+        assert_eq!(probes.len(), 1, "retries must absorb a 40% failure rate");
+        assert!(harness.send(&net, &probes[0]));
+    }
+
+    #[test]
+    fn install_plan_tolerant_quarantines_unreachable_probes() {
+        use sdnprobe_dataplane::Impairments;
+        let (mut net, graph) = line3_with_rewrite();
+        // Certain failure: no number of retries can install anything.
+        net.set_impairments(Impairments::new(5).with_flowmod_failure_rate(1.0));
+        let plan = generate(&graph);
+        let mut harness = ProbeHarness::new().with_retry_policy(RetryPolicy {
+            attempts: 2,
+            backoff_ns: 1_000,
+        });
+        let (probes, degraded) = harness
+            .install_plan_tolerant(&mut net, &graph, &plan)
+            .unwrap();
+        assert!(probes.is_empty());
+        // Every rule of the quarantined path is reported as degraded.
+        assert_eq!(degraded.len(), 3);
+        // Nothing was half-installed.
+        assert_eq!(net.entry_count(), 3);
+    }
+
+    #[test]
+    fn teardown_is_best_effort_and_idempotent() {
+        use sdnprobe_dataplane::Impairments;
+        let (mut net, graph) = line3_with_rewrite();
+        let count_before = net.entry_count();
+        let plan = generate(&graph);
+        let mut harness = ProbeHarness::new().with_retry_policy(RetryPolicy {
+            attempts: 0,
+            backoff_ns: 1_000,
+        });
+        let probes = harness.install_plan(&mut net, &graph, &plan).unwrap();
+        assert_eq!(probes.len(), 1);
+        // Make every flow-mod fail: teardown collects failures but does
+        // not give up or lose track of the leftovers.
+        net.set_impairments(Impairments::new(3).with_flowmod_failure_rate(1.0));
+        let err = harness.teardown(&mut net).unwrap_err();
+        assert!(!err.failures.is_empty());
+        assert!(err.failures.iter().all(NetworkError::is_transient));
+        assert!(err.to_string().contains("unrestored"));
+        // Once the channel heals, a second teardown restores everything.
+        net.set_impairments(Impairments::default());
+        harness.teardown(&mut net).unwrap();
+        assert_eq!(net.entry_count(), count_before);
+        for s in net.topology().switches() {
+            assert_eq!(net.table_count(s).unwrap(), 1);
+        }
+        // And a third call is a clean no-op.
+        harness.teardown(&mut net).unwrap();
     }
 
     #[test]

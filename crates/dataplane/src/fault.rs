@@ -105,20 +105,21 @@ impl FaultSpec {
 
     /// Whether the fault manifests for this packet at this virtual time.
     ///
-    /// # Panics
-    ///
-    /// Panics if a targeting pattern's length differs from the header's.
+    /// Malformed specifications never panic at forwarding time: a
+    /// zero-period intermittent fault or a targeting pattern whose
+    /// length differs from the header's is simply never active.
+    /// [`crate::Network::inject_fault`] rejects such specs up front, so
+    /// these guards only matter for `FaultSpec` values used standalone.
     pub fn is_active(&self, now_ns: u64, header: Header) -> bool {
         match self.activation {
             Activation::Persistent => true,
             Activation::Intermittent {
                 period_ns,
                 active_ns,
-            } => {
-                assert!(period_ns > 0, "intermittent period must be positive");
-                now_ns % period_ns < active_ns
+            } => period_ns > 0 && now_ns % period_ns < active_ns,
+            Activation::Targeting(pattern) => {
+                pattern.len() == header.len() && pattern.matches(header)
             }
-            Activation::Targeting(pattern) => pattern.matches(header),
         }
     }
 }
@@ -155,6 +156,21 @@ mod tests {
         let f = FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(victim));
         assert!(f.is_active(0, Header::new(0b0000_0100, 8)));
         assert!(!f.is_active(0, Header::new(0b0001_0100, 8)));
+    }
+
+    #[test]
+    fn malformed_specs_are_inert_not_panicky() {
+        let zero_period = FaultSpec::new(FaultKind::Drop).with_activation(
+            Activation::Intermittent {
+                period_ns: 0,
+                active_ns: 10,
+            },
+        );
+        assert!(!zero_period.is_active(123, Header::new(0, 8)));
+        let short: Ternary = "xxxx".parse().unwrap();
+        let mismatched =
+            FaultSpec::new(FaultKind::Drop).with_activation(Activation::Targeting(short));
+        assert!(!mismatched.is_active(0, Header::new(0, 8)));
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Deterministic environmental impairments — the paper's "error-prone
+//! environment".
+//!
+//! The seed evaluation delivered every probe perfectly unless a switch
+//! fault was injected, which cannot reproduce the paper's core
+//! robustness claim: *benign* packet loss must not be confused with a
+//! *faulty* switch, and controller-channel hiccups must not abort a
+//! detection run. [`Impairments`] models three benign failure axes:
+//!
+//! * **per-link stochastic packet loss** (`loss_rate`) — a packet
+//!   traversing a link may vanish in transit
+//!   ([`Outcome::LostInTransit`](crate::Outcome::LostInTransit));
+//! * **controller-channel loss** (`ctrl_loss_rate`) — a packet-in may
+//!   never reach the controller
+//!   ([`Outcome::PacketInLost`](crate::Outcome::PacketInLost));
+//! * **transient flow-mod failures** (`flowmod_failure_rate`) —
+//!   `install` / `replace_entry` / `remove` may fail with the retryable
+//!   [`NetworkError::ChannelDown`](crate::NetworkError::ChannelDown).
+//!
+//! # Determinism scheme
+//!
+//! There is no RNG state. Every decision is a pure function of
+//! `(seed, virtual time, packet header, link | xid)` hashed through a
+//! fixed 64-bit mixer, so:
+//!
+//! * [`Network::inject`](crate::Network::inject) stays a pure function
+//!   of network state — `send_batch` keeps its
+//!   bit-identical-at-any-thread-count contract;
+//! * replaying a scenario with the same chaos seed reproduces the exact
+//!   same losses, byte for byte, on any platform (the mixer is
+//!   hand-rolled, not `std`'s randomized `DefaultHasher`);
+//! * re-sending the same packet at a *different* virtual time re-draws
+//!   its fate — which is what makes confirmation retries effective.
+//!
+//! Flow-mod failures additionally fold in a per-network transaction id
+//! (`xid`) that increments on every gated flow-mod attempt, so retrying
+//! a failed flow-mod at the same virtual instant still re-draws.
+//!
+//! Colluding detours are exempt from link loss: the paper's detour is
+//! an out-of-band tunnel between colluders, not a link of the tested
+//! topology.
+
+use serde::{Deserialize, Serialize};
+
+use sdnprobe_headerspace::Header;
+use sdnprobe_topology::SwitchId;
+
+/// Domain-separation tags so the three impairment channels draw
+/// independent streams from one seed.
+const TAG_LINK: u64 = 0x4c49_4e4b_4c4f_5353; // "LINKLOSS"
+const TAG_CTRL: u64 = 0x4354_524c_4c4f_5353; // "CTRLLOSS"
+const TAG_FMOD: u64 = 0x464c_4f57_4d4f_4446; // "FLOWMODF"
+
+/// A benign-impairment model for a [`Network`](crate::Network).
+///
+/// The default is the identity: every rate is `0.0` and the network
+/// behaves exactly as it did before this layer existed (zero-cost
+/// default — no hash is ever computed when a rate is zero).
+///
+/// # Examples
+///
+/// ```
+/// use sdnprobe_dataplane::Impairments;
+///
+/// let chaos = Impairments::new(42).with_loss_rate(0.1).with_ctrl_loss_rate(0.02);
+/// assert!(!chaos.is_noop());
+/// assert!(Impairments::default().is_noop());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Impairments {
+    /// Probability that a packet is lost while traversing a link.
+    pub loss_rate: f64,
+    /// Probability that a packet-in is lost on the controller channel.
+    pub ctrl_loss_rate: f64,
+    /// Probability that a flow-mod (`install`/`replace_entry`/`remove`)
+    /// fails transiently with [`NetworkError::ChannelDown`](crate::NetworkError::ChannelDown).
+    pub flowmod_failure_rate: f64,
+    /// Seed of the deterministic chaos stream.
+    pub seed: u64,
+}
+
+impl Impairments {
+    /// Creates a no-op impairment model carrying `seed`; dial in rates
+    /// with the `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-link packet loss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    #[must_use]
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Sets the controller-channel (packet-in) loss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    #[must_use]
+    pub fn with_ctrl_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        self.ctrl_loss_rate = rate;
+        self
+    }
+
+    /// Sets the transient flow-mod failure rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is in `[0, 1]`.
+    #[must_use]
+    pub fn with_flowmod_failure_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "failure rate must be in [0, 1]");
+        self.flowmod_failure_rate = rate;
+        self
+    }
+
+    /// True when every rate is zero (the network is unimpaired).
+    pub fn is_noop(&self) -> bool {
+        self.loss_rate == 0.0 && self.ctrl_loss_rate == 0.0 && self.flowmod_failure_rate == 0.0
+    }
+
+    /// Whether a packet carrying `header` is lost crossing the
+    /// `from → to` link at virtual time `now_ns`.
+    pub fn link_lost(&self, now_ns: u64, header: Header, from: SwitchId, to: SwitchId) -> bool {
+        self.loss_rate > 0.0
+            && trips(
+                self.loss_rate,
+                chaos_hash(
+                    self.seed,
+                    &[
+                        TAG_LINK,
+                        now_ns,
+                        (header.bits() >> 64) as u64,
+                        header.bits() as u64,
+                        from.0 as u64,
+                        to.0 as u64,
+                    ],
+                ),
+            )
+    }
+
+    /// Whether the packet-in for `header`, punted at `at`, is lost on
+    /// the controller channel at virtual time `now_ns`.
+    pub fn packet_in_lost(&self, now_ns: u64, header: Header, at: SwitchId) -> bool {
+        self.ctrl_loss_rate > 0.0
+            && trips(
+                self.ctrl_loss_rate,
+                chaos_hash(
+                    self.seed,
+                    &[
+                        TAG_CTRL,
+                        now_ns,
+                        (header.bits() >> 64) as u64,
+                        header.bits() as u64,
+                        at.0 as u64,
+                    ],
+                ),
+            )
+    }
+
+    /// Whether the flow-mod with transaction id `xid` fails transiently
+    /// at virtual time `now_ns`.
+    pub fn flowmod_fails(&self, now_ns: u64, xid: u64) -> bool {
+        self.flowmod_failure_rate > 0.0
+            && trips(
+                self.flowmod_failure_rate,
+                chaos_hash(self.seed, &[TAG_FMOD, now_ns, xid]),
+            )
+    }
+}
+
+/// `splitmix64` finalizer: a well-mixed, platform-stable 64-bit hash.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes `words` under `seed` into one uniform 64-bit draw.
+fn chaos_hash(seed: u64, words: &[u64]) -> u64 {
+    let mut h = mix(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for &w in words {
+        h = mix(h ^ w.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+    h
+}
+
+/// Maps a uniform 64-bit draw onto a Bernoulli(rate) outcome.
+fn trips(rate: f64, hash: u64) -> bool {
+    // 2^64 as f64 is exact; `hash as f64` loses at most 11 low bits,
+    // far below any rate granularity an experiment sweeps.
+    (hash as f64) < rate * 18_446_744_073_709_551_616.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop_and_never_trips() {
+        let imp = Impairments::default();
+        assert!(imp.is_noop());
+        let h = Header::new(0xAB, 8);
+        for t in [0u64, 1, 1_000_000] {
+            assert!(!imp.link_lost(t, h, SwitchId(0), SwitchId(1)));
+            assert!(!imp.packet_in_lost(t, h, SwitchId(0)));
+            assert!(!imp.flowmod_fails(t, t));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let imp = Impairments::new(7).with_loss_rate(0.5);
+        let h = Header::new(0x0F, 8);
+        for t in 0..64 {
+            assert_eq!(
+                imp.link_lost(t, h, SwitchId(1), SwitchId(2)),
+                imp.link_lost(t, h, SwitchId(1), SwitchId(2)),
+            );
+        }
+    }
+
+    #[test]
+    fn time_header_and_link_all_matter() {
+        let imp = Impairments::new(3).with_loss_rate(0.5);
+        let h = Header::new(0, 8);
+        // Over many draws along each axis, both outcomes must appear:
+        // the hash actually consumes time, header, and endpoint inputs.
+        let by_time: Vec<bool> = (0..128)
+            .map(|t| imp.link_lost(t, h, SwitchId(0), SwitchId(1)))
+            .collect();
+        assert!(by_time.iter().any(|&b| b) && by_time.iter().any(|&b| !b));
+        let by_header: Vec<bool> = (0..128u128)
+            .map(|b| imp.link_lost(0, Header::new(b, 8), SwitchId(0), SwitchId(1)))
+            .collect();
+        assert!(by_header.iter().any(|&b| b) && by_header.iter().any(|&b| !b));
+        let by_link: Vec<bool> = (0..128)
+            .map(|s| imp.link_lost(0, h, SwitchId(s), SwitchId(s + 1)))
+            .collect();
+        assert!(by_link.iter().any(|&b| b) && by_link.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn rate_one_always_trips_rate_zero_never() {
+        let hot = Impairments::new(9).with_loss_rate(1.0);
+        let cold = Impairments::new(9);
+        let h = Header::new(0x55, 8);
+        for t in 0..64 {
+            assert!(hot.link_lost(t, h, SwitchId(0), SwitchId(1)));
+            assert!(!cold.link_lost(t, h, SwitchId(0), SwitchId(1)));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let imp = Impairments::new(11).with_loss_rate(0.1);
+        let h = Header::new(0x3C, 8);
+        let trials = 20_000;
+        let lost = (0..trials)
+            .filter(|&t| imp.link_lost(t, h, SwitchId(0), SwitchId(1)))
+            .count();
+        let observed = lost as f64 / trials as f64;
+        assert!(
+            (observed - 0.1).abs() < 0.01,
+            "observed loss rate {observed} should be ≈ 0.1"
+        );
+    }
+
+    #[test]
+    fn channels_draw_independent_streams() {
+        let imp = Impairments::new(5)
+            .with_loss_rate(0.5)
+            .with_ctrl_loss_rate(0.5);
+        let h = Header::new(0, 8);
+        let disagree = (0..256)
+            .filter(|&t| {
+                imp.link_lost(t, h, SwitchId(0), SwitchId(0))
+                    != imp.packet_in_lost(t, h, SwitchId(0))
+            })
+            .count();
+        assert!(disagree > 64, "tags must separate the two channels");
+    }
+
+    #[test]
+    fn xid_redraws_flowmod_fate() {
+        let imp = Impairments::new(13).with_flowmod_failure_rate(0.5);
+        let fates: Vec<bool> = (0..64).map(|xid| imp.flowmod_fails(0, xid)).collect();
+        assert!(fates.iter().any(|&b| b) && fates.iter().any(|&b| !b));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn out_of_range_rate_panics() {
+        let _ = Impairments::new(0).with_loss_rate(1.5);
+    }
+}

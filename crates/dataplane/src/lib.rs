@@ -5,7 +5,10 @@
 //! matching, set-field rewriting, goto-table, controller punting — plus
 //! the paper's full switch failure model (§III-B): drop / modify /
 //! misdirect faults with persistent, intermittent, or targeting
-//! activation, and colluding detours.
+//! activation, and colluding detours. The *error-prone environment*
+//! itself is modeled by a seeded deterministic [`Impairments`] layer:
+//! benign per-link packet loss, controller-channel loss, and transient
+//! flow-mod failures, all off by default.
 //!
 //! Forwarding a packet yields a [`ForwardingTrace`]: ground truth for
 //! evaluation. A controller implementation may only consume
@@ -38,10 +41,12 @@
 
 mod fault;
 mod flow;
+mod impairments;
 mod network;
 mod table;
 
 pub use fault::{Activation, FaultKind, FaultSpec};
 pub use flow::{Action, EntryId, FlowEntry, TableId};
+pub use impairments::Impairments;
 pub use network::{EntryLocation, ForwardingTrace, Network, NetworkError, Outcome, TraceStep};
 pub use table::FlowTable;

@@ -16,8 +16,9 @@ use std::collections::HashMap;
 use sdnprobe_headerspace::Header;
 use sdnprobe_topology::{PortId, SwitchId, Topology};
 
-use crate::fault::{FaultKind, FaultSpec};
+use crate::fault::{Activation, FaultKind, FaultSpec};
 use crate::flow::{Action, EntryId, FlowEntry, TableId};
+use crate::impairments::Impairments;
 use crate::table::FlowTable;
 
 /// One pipeline-processing step in a forwarding trace.
@@ -62,6 +63,22 @@ pub enum Outcome {
     },
     /// The hop budget was exhausted — a forwarding loop.
     TtlExceeded,
+    /// Lost in transit on a link by benign stochastic packet loss (the
+    /// error-prone environment, not a switch fault) — see
+    /// [`Impairments::loss_rate`].
+    LostInTransit {
+        /// Switch that transmitted the packet.
+        from: SwitchId,
+        /// Switch that never received it.
+        to: SwitchId,
+    },
+    /// Punted to the controller, but the packet-in was lost on the
+    /// controller channel — see [`Impairments::ctrl_loss_rate`]. The
+    /// controller observes nothing.
+    PacketInLost {
+        /// Switch whose packet-in was lost.
+        switch: SwitchId,
+    },
 }
 
 /// Result of injecting a packet: every step taken plus the outcome.
@@ -131,6 +148,37 @@ pub enum NetworkError {
         /// Offending target.
         to: TableId,
     },
+    /// The controller channel to a switch dropped the flow-mod — a
+    /// *transient* failure drawn from
+    /// [`Impairments::flowmod_failure_rate`]; retrying (which advances
+    /// the transaction id) re-draws the outcome.
+    ChannelDown {
+        /// Switch whose channel hiccuped.
+        switch: SwitchId,
+    },
+    /// The fault specification is invalid for the targeted entry (e.g.
+    /// a zero-period intermittent activation, or a targeting pattern
+    /// whose length differs from the entry's header length). Validated
+    /// at [`Network::inject_fault`] time so forwarding never panics.
+    InvalidFault {
+        /// Entry the fault was aimed at.
+        entry: EntryId,
+        /// Why the specification was rejected.
+        reason: String,
+    },
+    /// Only the last, empty, non-pipeline table of a switch can be
+    /// removed (earlier ids would shift; occupied tables would strand
+    /// entries).
+    TableNotRemovable(SwitchId, TableId),
+}
+
+impl NetworkError {
+    /// True for failures that a bounded retry can clear (currently only
+    /// [`NetworkError::ChannelDown`]); permanent errors — unknown
+    /// ids, backward gotos, invalid faults — return `false`.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::ChannelDown { .. })
+    }
 }
 
 impl std::fmt::Display for NetworkError {
@@ -141,6 +189,15 @@ impl std::fmt::Display for NetworkError {
             Self::UnknownEntry(e) => write!(f, "unknown entry {e}"),
             Self::BackwardGoto { from, to } => {
                 write!(f, "goto-table must move forward (from {from} to {to})")
+            }
+            Self::ChannelDown { switch } => {
+                write!(f, "controller channel to {switch} dropped the flow-mod (transient)")
+            }
+            Self::InvalidFault { entry, reason } => {
+                write!(f, "invalid fault for entry {entry}: {reason}")
+            }
+            Self::TableNotRemovable(s, t) => {
+                write!(f, "table {t} on switch {s} is not the last empty table")
             }
         }
     }
@@ -184,6 +241,10 @@ pub struct Network {
     faults: HashMap<EntryId, FaultSpec>,
     next_entry: u64,
     now_ns: u64,
+    impairments: Impairments,
+    /// Flow-mod transaction counter: bumps on every *gated* flow-mod
+    /// attempt (success or failure) so a retry re-draws its fate.
+    flowmod_xid: u64,
 }
 
 impl Network {
@@ -198,12 +259,48 @@ impl Network {
             faults: HashMap::new(),
             next_entry: 0,
             now_ns: 0,
+            impairments: Impairments::default(),
+            flowmod_xid: 0,
         }
     }
 
     /// The underlying topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The active benign-impairment model (all-zero by default).
+    pub fn impairments(&self) -> &Impairments {
+        &self.impairments
+    }
+
+    /// Installs a benign-impairment model. With every rate zero (the
+    /// default) the network behaves bit-identically to an unimpaired
+    /// one.
+    pub fn set_impairments(&mut self, impairments: Impairments) {
+        self.impairments = impairments;
+    }
+
+    /// Builder-style [`Network::set_impairments`].
+    #[must_use]
+    pub fn with_impairments(mut self, impairments: Impairments) -> Self {
+        self.impairments = impairments;
+        self
+    }
+
+    /// Draws one flow-mod fate for an operation on `switch`. Free when
+    /// the failure rate is zero (the counter is not even bumped, so
+    /// enabling impairments later starts from a pristine stream).
+    fn flowmod_gate(&mut self, switch: SwitchId) -> Result<(), NetworkError> {
+        if self.impairments.flowmod_failure_rate <= 0.0 {
+            return Ok(());
+        }
+        self.flowmod_xid += 1;
+        if self.impairments.flowmod_fails(self.now_ns, self.flowmod_xid) {
+            Err(NetworkError::ChannelDown { switch })
+        } else {
+            Ok(())
+        }
     }
 
     /// Current virtual time in nanoseconds.
@@ -242,6 +339,30 @@ impl Network {
         Ok(TableId(tables.len() - 1))
     }
 
+    /// Removes a switch's last, empty, non-pipeline table — the inverse
+    /// of [`Network::add_table`], used by the probe harness to restore a
+    /// network exactly after teardown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownSwitch`] for an invalid switch and
+    /// [`NetworkError::TableNotRemovable`] unless `table` is the last
+    /// table, is not table 0, and holds no entries.
+    pub fn remove_table(&mut self, switch: SwitchId, table: TableId) -> Result<(), NetworkError> {
+        let tables = self
+            .tables
+            .get_mut(switch.0)
+            .ok_or(NetworkError::UnknownSwitch(switch))?;
+        if table.0 == 0
+            || table.0 + 1 != tables.len()
+            || !tables[table.0].is_empty()
+        {
+            return Err(NetworkError::TableNotRemovable(switch, table));
+        }
+        tables.pop();
+        Ok(())
+    }
+
     /// Read access to one flow table.
     ///
     /// # Errors
@@ -260,7 +381,9 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if the location does not exist or the entry's
-    /// `GotoTable` action does not move strictly forward.
+    /// `GotoTable` action does not move strictly forward; under
+    /// impairments, may fail transiently with
+    /// [`NetworkError::ChannelDown`] (retryable).
     pub fn install(
         &mut self,
         switch: SwitchId,
@@ -272,16 +395,18 @@ impl Network {
                 return Err(NetworkError::BackwardGoto { from: table, to });
             }
         }
-        let tables = self
+        let table_count = self
             .tables
-            .get_mut(switch.0)
-            .ok_or(NetworkError::UnknownSwitch(switch))?;
-        let tab = tables
-            .get_mut(table.0)
-            .ok_or(NetworkError::UnknownTable(switch, table))?;
+            .get(switch.0)
+            .ok_or(NetworkError::UnknownSwitch(switch))?
+            .len();
+        if table.0 >= table_count {
+            return Err(NetworkError::UnknownTable(switch, table));
+        }
+        self.flowmod_gate(switch)?;
         let id = EntryId(self.next_entry);
         self.next_entry += 1;
-        tab.insert(id, entry);
+        self.tables[switch.0][table.0].insert(id, entry);
         self.locations.insert(id, EntryLocation { switch, table });
         Ok(id)
     }
@@ -290,12 +415,16 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::UnknownEntry`] if not installed.
+    /// Returns [`NetworkError::UnknownEntry`] if not installed; under
+    /// impairments, may fail transiently with
+    /// [`NetworkError::ChannelDown`] (retryable, nothing removed).
     pub fn remove(&mut self, id: EntryId) -> Result<FlowEntry, NetworkError> {
-        let loc = self
+        let loc = *self
             .locations
-            .remove(&id)
+            .get(&id)
             .ok_or(NetworkError::UnknownEntry(id))?;
+        self.flowmod_gate(loc.switch)?;
+        self.locations.remove(&id);
         self.faults.remove(&id);
         Ok(self.tables[loc.switch.0][loc.table.0]
             .remove(id)
@@ -334,7 +463,8 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if the entry is unknown or the new action is a
-    /// backward `GotoTable`.
+    /// backward `GotoTable`; under impairments, may fail transiently
+    /// with [`NetworkError::ChannelDown`] (retryable, nothing changed).
     pub fn replace_entry(&mut self, id: EntryId, entry: FlowEntry) -> Result<(), NetworkError> {
         let loc = *self
             .locations
@@ -348,6 +478,7 @@ impl Network {
                 });
             }
         }
+        self.flowmod_gate(loc.switch)?;
         self.tables[loc.switch.0][loc.table.0]
             .replace(id, entry)
             .expect("location map and table agree");
@@ -359,10 +490,42 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::UnknownEntry`] if not installed.
+    /// Returns [`NetworkError::UnknownEntry`] if not installed, and
+    /// [`NetworkError::InvalidFault`] for specifications that could
+    /// never manifest correctly — a zero-period intermittent
+    /// activation, or a targeting pattern whose length is zero or
+    /// differs from the entry's match field — so forwarding never has
+    /// to cope with malformed faults.
     pub fn inject_fault(&mut self, id: EntryId, fault: FaultSpec) -> Result<(), NetworkError> {
-        if !self.locations.contains_key(&id) {
-            return Err(NetworkError::UnknownEntry(id));
+        let loc = *self
+            .locations
+            .get(&id)
+            .ok_or(NetworkError::UnknownEntry(id))?;
+        match fault.activation() {
+            Activation::Intermittent { period_ns, .. } if period_ns == 0 => {
+                return Err(NetworkError::InvalidFault {
+                    entry: id,
+                    reason: "intermittent period must be positive".into(),
+                });
+            }
+            Activation::Targeting(pattern) => {
+                let width = self.tables[loc.switch.0][loc.table.0]
+                    .get(id)
+                    .expect("location map and table agree")
+                    .match_field()
+                    .len();
+                if pattern.is_empty() || pattern.len() != width {
+                    return Err(NetworkError::InvalidFault {
+                        entry: id,
+                        reason: format!(
+                            "targeting pattern is {} bits but the entry matches {} bits",
+                            pattern.len(),
+                            width
+                        ),
+                    });
+                }
+            }
+            _ => {}
         }
         self.faults.insert(id, fault);
         Ok(())
@@ -456,6 +619,17 @@ impl Network {
                             header = apply_set(header, &entry);
                             match self.topology.peer_of(switch, port) {
                                 Some(peer) => {
+                                    if self.impairments.link_lost(self.now_ns, header, switch, peer)
+                                    {
+                                        return ForwardingTrace {
+                                            steps,
+                                            outcome: Outcome::LostInTransit {
+                                                from: switch,
+                                                to: peer,
+                                            },
+                                            final_header: header,
+                                        };
+                                    }
                                     switch = peer;
                                     table = TableId(0);
                                     continue;
@@ -496,9 +670,14 @@ impl Network {
                     };
                 }
                 Action::ToController => {
+                    let outcome = if self.impairments.packet_in_lost(self.now_ns, header, switch) {
+                        Outcome::PacketInLost { switch }
+                    } else {
+                        Outcome::PacketIn { switch }
+                    };
                     return ForwardingTrace {
                         steps,
-                        outcome: Outcome::PacketIn { switch },
+                        outcome,
                         final_header: header,
                     };
                 }
@@ -507,6 +686,16 @@ impl Network {
                 }
                 Action::Output(port) => match self.topology.peer_of(switch, port) {
                     Some(peer) => {
+                        if self.impairments.link_lost(self.now_ns, header, switch, peer) {
+                            return ForwardingTrace {
+                                steps,
+                                outcome: Outcome::LostInTransit {
+                                    from: switch,
+                                    to: peer,
+                                },
+                                final_header: header,
+                            };
+                        }
                         switch = peer;
                         table = TableId(0);
                     }
@@ -880,5 +1069,165 @@ mod tests {
             to: TableId(0),
         };
         assert!(e.to_string().contains("forward"));
+        assert!(NetworkError::ChannelDown { switch: SwitchId(1) }
+            .to_string()
+            .contains("transient"));
+    }
+
+    #[test]
+    fn remove_table_only_pops_last_empty() {
+        let (mut net, _) = line3();
+        // Table 0 can never be removed.
+        assert!(matches!(
+            net.remove_table(SwitchId(0), TableId(0)),
+            Err(NetworkError::TableNotRemovable(..))
+        ));
+        let t1 = net.add_table(SwitchId(0)).unwrap();
+        let t2 = net.add_table(SwitchId(0)).unwrap();
+        // t1 is not the last table.
+        assert!(net.remove_table(SwitchId(0), t1).is_err());
+        // An occupied last table stays.
+        let id = net
+            .install(SwitchId(0), t2, FlowEntry::new(t("xxxxxxxx"), Action::Drop))
+            .unwrap();
+        assert!(net.remove_table(SwitchId(0), t2).is_err());
+        net.remove(id).unwrap();
+        net.remove_table(SwitchId(0), t2).unwrap();
+        net.remove_table(SwitchId(0), t1).unwrap();
+        assert_eq!(net.table_count(SwitchId(0)).unwrap(), 1);
+        assert!(net.remove_table(SwitchId(9), TableId(1)).is_err());
+    }
+
+    #[test]
+    fn inject_fault_rejects_malformed_specs() {
+        let (mut net, ids) = line3();
+        let zero_period = FaultSpec::new(FaultKind::Drop).with_activation(
+            Activation::Intermittent {
+                period_ns: 0,
+                active_ns: 10,
+            },
+        );
+        assert!(matches!(
+            net.inject_fault(ids[0], zero_period),
+            Err(NetworkError::InvalidFault { .. })
+        ));
+        let short = FaultSpec::new(FaultKind::Drop)
+            .with_activation(Activation::Targeting(t("xxxx")));
+        assert!(matches!(
+            net.inject_fault(ids[0], short),
+            Err(NetworkError::InvalidFault { .. })
+        ));
+        assert!(net.fault(ids[0]).is_none());
+        // A well-formed targeting fault is still accepted.
+        let ok = FaultSpec::new(FaultKind::Drop)
+            .with_activation(Activation::Targeting(t("0000xxxx")));
+        net.inject_fault(ids[0], ok).unwrap();
+    }
+
+    #[test]
+    fn certain_link_loss_strands_packets_in_transit() {
+        let (mut net, _) = line3();
+        net.set_impairments(Impairments::new(1).with_loss_rate(1.0));
+        let trace = net.inject(SwitchId(0), Header::new(0x0F, 8));
+        assert_eq!(
+            trace.outcome,
+            Outcome::LostInTransit {
+                from: SwitchId(0),
+                to: SwitchId(1)
+            }
+        );
+        assert!(trace.observation().is_none());
+        // The first hop's pipeline step still happened.
+        assert_eq!(trace.switches_visited(), vec![SwitchId(0)]);
+    }
+
+    #[test]
+    fn certain_ctrl_loss_swallows_packet_in() {
+        let (mut net, _) = line3();
+        net.set_impairments(Impairments::new(1).with_ctrl_loss_rate(1.0));
+        let trace = net.inject(SwitchId(0), Header::new(0x0F, 8));
+        assert_eq!(trace.outcome, Outcome::PacketInLost { switch: SwitchId(2) });
+        assert!(trace.observation().is_none());
+        // The packet still traversed the full path before the punt.
+        assert_eq!(
+            trace.switches_visited(),
+            vec![SwitchId(0), SwitchId(1), SwitchId(2)]
+        );
+    }
+
+    #[test]
+    fn partial_loss_redraws_at_later_times() {
+        let (mut net, _) = line3();
+        net.set_impairments(Impairments::new(3).with_loss_rate(0.5));
+        let mut delivered = 0;
+        let mut lost = 0;
+        for _ in 0..64 {
+            match net.inject(SwitchId(0), Header::new(0x0F, 8)).observation() {
+                Some(_) => delivered += 1,
+                None => lost += 1,
+            }
+            net.advance_ns(1_000);
+        }
+        assert!(delivered > 0 && lost > 0, "both fates must occur over time");
+    }
+
+    #[test]
+    fn flowmod_failures_are_transient_and_retryable() {
+        let (mut net, ids) = line3();
+        net.set_impairments(Impairments::new(2).with_flowmod_failure_rate(1.0));
+        let err = net
+            .install(SwitchId(0), TableId(0), FlowEntry::new(t("xxxxxxxx"), Action::Drop))
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert!(net.remove(ids[0]).is_err());
+        // Nothing was mutated by the failed ops.
+        assert_eq!(net.entry_count(), 3);
+        assert!(net.entry(ids[0]).is_some());
+        // At a sub-1 rate, retrying (which bumps the xid) succeeds.
+        net.set_impairments(Impairments::new(2).with_flowmod_failure_rate(0.5));
+        let mut failures = 0;
+        let installed = loop {
+            match net.install(
+                SwitchId(0),
+                TableId(0),
+                FlowEntry::new(t("11111111"), Action::Drop),
+            ) {
+                Ok(id) => break id,
+                Err(e) => {
+                    assert!(e.is_transient());
+                    failures += 1;
+                    assert!(failures < 64, "rate 0.5 must succeed well before 64 tries");
+                }
+            }
+        };
+        assert!(net.entry(installed).is_some());
+    }
+
+    #[test]
+    fn impairments_off_matches_seeded_impairments_struct() {
+        let (mut net, _) = line3();
+        let baseline = net.inject(SwitchId(0), Header::new(0x0F, 8));
+        // A seed without rates is still a no-op.
+        net.set_impairments(Impairments::new(12345));
+        assert_eq!(net.inject(SwitchId(0), Header::new(0x0F, 8)), baseline);
+    }
+
+    #[test]
+    fn same_seed_same_losses() {
+        let build = || {
+            let (mut net, _) = line3();
+            net.set_impairments(Impairments::new(7).with_loss_rate(0.3));
+            net
+        };
+        let mut a = build();
+        let mut b = build();
+        for _ in 0..32 {
+            assert_eq!(
+                a.inject(SwitchId(0), Header::new(0x2A, 8)),
+                b.inject(SwitchId(0), Header::new(0x2A, 8))
+            );
+            a.advance_ns(500);
+            b.advance_ns(500);
+        }
     }
 }

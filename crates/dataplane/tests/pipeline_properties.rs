@@ -90,6 +90,14 @@ proptest! {
                     );
                 }
                 Outcome::TtlExceeded => {}
+                // Benign impairments are off by default and can never
+                // occur in these networks.
+                Outcome::LostInTransit { from, to } => {
+                    prop_assert!(false, "impossible loss {from} -> {to} with no impairments");
+                }
+                Outcome::PacketInLost { switch } => {
+                    prop_assert!(false, "impossible ctrl loss at {switch} with no impairments");
+                }
             }
         }
         // Observation is Some iff the packet reached the controller.

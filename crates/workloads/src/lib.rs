@@ -26,4 +26,6 @@ pub use faults::{
     inject_targeting_faults, BasicFaultMix, DetourPair,
 };
 pub use rules::{synthesize, FlowSpec, SyntheticNetwork, WorkloadSpec, HEADER_BITS, HOST_PORT};
-pub use suites::{fig8_suite, synthesize_to_rule_count, table2_suite, Table2Case, TopologyCase};
+pub use suites::{
+    chaos_case, fig8_suite, synthesize_to_rule_count, table2_suite, Table2Case, TopologyCase,
+};

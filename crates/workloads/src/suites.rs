@@ -61,6 +61,19 @@ pub fn fig8_suite(count: usize, base_seed: u64) -> Vec<TopologyCase> {
         .collect()
 }
 
+/// The error-prone-environment case: a mid-size Rocketfuel-like
+/// topology shared by the chaos bench, the robustness test suite, and
+/// EXPERIMENTS.md, so their FPR/FNR-vs-loss numbers line up.
+pub fn chaos_case(seed: u64) -> TopologyCase {
+    TopologyCase {
+        name: format!("chaos-{seed}"),
+        switches: 20,
+        links: 36,
+        flows: 48,
+        seed,
+    }
+}
+
 /// A Table II scalability case: the paper's Setting columns.
 #[derive(Debug, Clone, Copy)]
 pub struct Table2Case {
